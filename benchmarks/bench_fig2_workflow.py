@@ -1,0 +1,88 @@
+"""FIG2 — the DiCE workflow, step by step.
+
+Figure 2 numbers the steps: (1) choose explorer & trigger snapshot,
+(2) establish consistent shadow snapshot of local node checkpoints,
+(3-5) explore inputs 1..k over cloned snapshots 1..k.  Each benchmark
+below measures one step on a 9-node Internet-like system, so the
+relative costs (snapshot latency vs clone cost vs per-input exploration)
+are visible exactly along the figure's decomposition.
+
+Run:  pytest benchmarks/bench_fig2_workflow.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.checks import default_property_suite
+from repro.core.explorer import ExplorationConfig, Explorer
+from repro.core.live import LiveSystem, bgp_process_factory
+from repro.core.sharing import SharingRegistry
+from repro.topo.internet import TopologyParams, build_internet
+
+
+@pytest.fixture(scope="module")
+def live9():
+    topology = build_internet(
+        TopologyParams(tier1=2, transit=3, stubs=4, seed=92)
+    )
+    live = LiveSystem.build(topology.configs, topology.links, seed=9)
+    live.converge(deadline=300)
+    return live
+
+
+def test_step2_marker_snapshot(benchmark, live9):
+    """Step 2: establish the consistent shadow snapshot (CL markers)."""
+    snapshot = benchmark(lambda: live9.coordinator.capture("tr-1"))
+    assert snapshot.node_count == 9
+
+
+def test_step2_atomic_snapshot_baseline(benchmark, live9):
+    """Ablation: pause-the-world capture (what federation forbids)."""
+    snapshot = benchmark(lambda: live9.coordinator.capture_atomic("tr-1"))
+    assert snapshot.node_count == 9
+
+
+def test_step3_clone_snapshot(benchmark, live9):
+    """Steps 3-5 setup: materialize one isolated clone."""
+    snapshot = live9.coordinator.capture("tr-1")
+    counter = iter(range(10**9))
+
+    def clone():
+        return snapshot.clone(bgp_process_factory, seed=next(counter))
+
+    clone_net = benchmark(clone)
+    assert set(clone_net.processes) == set(live9.network.processes)
+
+
+def test_steps3to5_explore_one_input(benchmark, live9):
+    """Steps 3-5: one exploration input end-to-end (clone + inject +
+    horizon + property checks)."""
+    snapshot = live9.coordinator.capture("tr-1")
+    claims = SharingRegistry.from_configs(live9.initial_configs)
+    explorer = Explorer(snapshot, default_property_suite(), claims)
+    seeds = iter(range(10**9))
+
+    def one_input():
+        return explorer.explore(
+            ExplorationConfig(
+                node="tr-1", inputs=1, horizon=2.0, seed=next(seeds)
+            )
+        )
+
+    report = benchmark(one_input)
+    assert report.executions == 1
+
+
+def test_full_workflow_k_inputs(benchmark, live9):
+    """The whole figure: snapshot once, explore k=10 inputs over clones."""
+    claims = SharingRegistry.from_configs(live9.initial_configs)
+
+    def workflow():
+        snapshot = live9.coordinator.capture("tr-2")
+        explorer = Explorer(snapshot, default_property_suite(), claims)
+        return explorer.explore(
+            ExplorationConfig(node="tr-2", inputs=10, horizon=2.0, seed=5)
+        )
+
+    report = benchmark.pedantic(workflow, rounds=2, iterations=1)
+    assert report.executions == 10
+    assert report.clones_created >= 10

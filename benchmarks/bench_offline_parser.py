@@ -1,0 +1,38 @@
+"""EXP-OFFLINE — throughput of the offline parser harness.
+
+Section 2, mitigation (ii): message parsers are tested offline, outside
+the snapshot/clone machinery.  This measures how cheap that is —
+thousands of decoder executions per second versus tens for full online
+exploration (see bench_fig2_workflow's per-input cost), which is the
+quantitative argument for the paper's "localize and focus" insight.
+
+Run:  pytest benchmarks/bench_offline_parser.py --benchmark-only -s
+"""
+
+from repro.core.offline import OfflineParserTester
+
+
+def test_offline_session_throughput(benchmark):
+    def session():
+        return OfflineParserTester(seed=5).run(budget=400)
+
+    report = benchmark.pedantic(session, rounds=2, iterations=1)
+    rate = report.inputs / max(report.duration, 1e-9)
+    print(f"\n  {report.inputs} inputs at {rate:.0f} inputs/s")
+    print(f"  {report.summary()}")
+    assert report.crashes == []
+    assert report.inputs == 400
+
+
+def test_offline_random_only_throughput(benchmark):
+    """The pure-fuzz floor: no concolic bookkeeping at all."""
+    tester = OfflineParserTester(seed=6)
+
+    def random_session():
+        report = type(tester.run(budget=0))()
+        tester._run_random(report, 400)  # noqa: SLF001 - isolate one stage
+        return report
+
+    report = benchmark.pedantic(random_session, rounds=2, iterations=1)
+    assert report.inputs == 400
+    assert report.crashes == []

@@ -1,0 +1,116 @@
+"""EXP-OVERHEAD (Table B) — the "low overhead" claim.
+
+Three measurements:
+
+* checkpoint cost (wall time and retained bytes) as a function of RIB
+  size — expected shape: linear, small constants;
+* snapshot latency (simulated seconds for the marker cut to close) as a
+  function of system size — expected shape: bounded by network
+  diameter, not node count;
+* live-system slowdown while DiCE snapshots it — expected shape:
+  indistinguishable totals (exploration happens on clones).
+
+Run:  pytest benchmarks/bench_overhead.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import (
+    IPv4Address,
+    LiveSystem,
+    NeighborConfig,
+    Prefix,
+    RouterConfig,
+)
+from repro.bgp.config import AddNetwork
+from repro.bgp.router import BGPRouter
+from repro.core.checkpoint import capture, checkpoint_size
+from repro.net.link import LinkProfile
+from repro.topo.internet import TopologyParams, build_internet
+
+
+def router_with_routes(count):
+    """A standalone router originating ``count`` /24s."""
+    config = RouterConfig(
+        name="big",
+        local_as=65001,
+        router_id=IPv4Address("9.9.9.9"),
+        neighbors=(NeighborConfig(peer="peer", peer_as=65002),),
+    )
+    router = BGPRouter(config)
+    for index in range(count):
+        prefix = Prefix(
+            (10 << 24) | ((index >> 8) << 16) | ((index & 0xFF) << 8), 24
+        )
+        router.config = AddNetwork(prefix).apply(router.config)
+    router._originate_networks()  # noqa: SLF001 - offline, no network
+    return router
+
+
+@pytest.mark.parametrize("routes", [10, 100, 1000, 5000])
+def test_checkpoint_cost_vs_rib_size(benchmark, routes):
+    """Checkpoint time scales with RIB size; constants stay small."""
+    router = router_with_routes(routes)
+    checkpoint = benchmark(lambda: capture(router, 0.0))
+    size = checkpoint_size(checkpoint)
+    print(f"\n  routes={routes:<6} retained={size / 1024:.0f} KiB")
+    assert len(checkpoint.state["loc_rib"]) == routes
+
+
+@pytest.mark.parametrize("scale", [
+    TopologyParams(tier1=2, transit=2, stubs=2, seed=1),     # 6 nodes
+    TopologyParams(tier1=2, transit=4, stubs=8, seed=1),     # 14 nodes
+    TopologyParams(tier1=3, transit=8, stubs=16, seed=2711),  # 27 nodes
+], ids=["n6", "n14", "n27"])
+def test_snapshot_latency_vs_size(benchmark, scale):
+    """Marker-cut latency is diameter-bound, not node-count-bound."""
+    topology = build_internet(scale)
+    live = LiveSystem.build(topology.configs, topology.links, seed=4)
+    live.converge(deadline=600)
+    initiator = topology.nodes_in_tier(1)[0]
+
+    def snap():
+        return live.coordinator.capture(initiator)
+
+    snapshot = benchmark.pedantic(snap, rounds=3, iterations=1)
+    assert snapshot.node_count == scale.total
+    print(
+        f"\n  nodes={scale.total:<4} cut latency={snapshot.latency * 1000:.1f} ms "
+        f"(simulated)"
+    )
+    # Diameter-bound: even the 27-node system closes in well under a
+    # second of simulated time (a few link RTTs).
+    assert snapshot.latency < 1.0
+
+
+def test_live_slowdown_with_dice_attached(benchmark):
+    """Simulated work processed per wall second, with periodic marker
+    snapshots running vs not."""
+    topology = build_internet(TopologyParams(tier1=2, transit=3, stubs=4,
+                                             seed=5))
+
+    def run_with_snapshots(enabled):
+        live = LiveSystem.build(topology.configs, topology.links, seed=6)
+        live.converge(deadline=300)
+        live.enable_churn(
+            topology.nodes_in_tier(3)[0], Prefix("10.200.0.0/16"),
+            period=4.0, start_at=live.network.sim.now + 1,
+        )
+        deadline = live.network.sim.now + 60
+        while live.network.sim.now < deadline:
+            live.run(until=live.network.sim.now + 10)
+            if enabled:
+                live.coordinator.capture(topology.nodes_in_tier(1)[0])
+        return live.network.sim.events_run
+
+    baseline_events = run_with_snapshots(False)
+    events_with_dice = benchmark.pedantic(
+        lambda: run_with_snapshots(True), rounds=1, iterations=1
+    )
+    overhead = events_with_dice / baseline_events - 1.0
+    print(
+        f"\n  events without DiCE={baseline_events} "
+        f"with DiCE={events_with_dice} (event overhead {overhead:+.1%})"
+    )
+    # Markers add a bounded, small number of events.
+    assert overhead < 0.25

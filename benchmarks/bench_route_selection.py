@@ -1,0 +1,114 @@
+"""EXP-SELECTION — symbolic exploration of the route selection process.
+
+Section 3: "We treat as symbolic the condition that describes whether a
+route is the locally most preferred one.  This allows us to
+systematically explore the outcome of BGP's route selection process."
+
+The benchmark plants symbolic LOCAL_PREF shadows on a node with
+multiple candidate routes and counts how many distinct selection
+outcomes concolic exploration reaches, against a concrete baseline that
+re-runs selection on the unmodified snapshot (which by definition sees
+exactly one outcome).
+
+Run:  pytest benchmarks/bench_route_selection.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import (
+    IPv4Address,
+    LiveSystem,
+    NeighborConfig,
+    Prefix,
+    RouterConfig,
+)
+from repro.checks import default_property_suite
+from repro.core.explorer import Explorer
+from repro.core.sharing import SharingRegistry
+from repro.net.link import LinkProfile
+
+PREFIX = Prefix("10.77.0.0/16")
+
+
+def diamond_live(extra_paths=0, seed=5):
+    """d originates; a, b (and optional extras) all advertise to c."""
+    middles = ["a", "b"] + [f"m{i}" for i in range(extra_paths)]
+    configs = [
+        RouterConfig(
+            name="d", local_as=100, router_id=IPv4Address("1.0.0.1"),
+            networks=(PREFIX,),
+            neighbors=tuple(
+                NeighborConfig(peer=m, peer_as=200 + i)
+                for i, m in enumerate(middles)
+            ),
+        ),
+        RouterConfig(
+            name="c", local_as=400, router_id=IPv4Address("1.0.0.4"),
+            neighbors=tuple(
+                NeighborConfig(peer=m, peer_as=200 + i)
+                for i, m in enumerate(middles)
+            ),
+        ),
+    ]
+    links = []
+    for i, middle in enumerate(middles):
+        configs.append(
+            RouterConfig(
+                name=middle, local_as=200 + i,
+                router_id=IPv4Address(f"1.0.1.{i + 1}"),
+                neighbors=(NeighborConfig(peer="d", peer_as=100),
+                           NeighborConfig(peer="c", peer_as=400)),
+            )
+        )
+        links.append(("d", middle, LinkProfile.lan()))
+        links.append((middle, "c", LinkProfile.lan()))
+    live = LiveSystem.build(configs, links, seed=seed)
+    live.converge()
+    return live
+
+
+@pytest.mark.parametrize("candidates", [2, 3, 4])
+def test_selection_outcomes_explored(benchmark, candidates):
+    live = diamond_live(extra_paths=candidates - 2)
+    snapshot = live.coordinator.capture("c")
+    claims = SharingRegistry.from_configs(live.initial_configs)
+    explorer = Explorer(snapshot, default_property_suite(), claims)
+
+    def explore():
+        return explorer.explore_selection(
+            "c", max_executions=20 * candidates, seed=2, prefix=PREFIX
+        )
+
+    report = benchmark.pedantic(explore, rounds=1, iterations=1)
+    print(
+        f"\n  candidates={report.candidates} "
+        f"executions={report.executions} "
+        f"distinct outcomes={report.distinct_outcomes} "
+        f"({', '.join(report.outcomes)})"
+    )
+    assert report.candidates == candidates
+    # Concrete testing sees 1 outcome; symbolic selection reaches all.
+    assert report.distinct_outcomes >= candidates
+
+
+def test_concrete_baseline_single_outcome(benchmark):
+    """Without symbolic shadows, re-running selection is deterministic:
+    one outcome no matter how often we run it."""
+    live = diamond_live()
+    snapshot = live.coordinator.capture("c")
+
+    from repro.core.live import bgp_process_factory
+
+    def rerun():
+        outcomes = set()
+        for seed in range(20):
+            clone = snapshot.clone(bgp_process_factory, seed=seed)
+            router = clone.processes["c"]
+            router.rerun_decision([PREFIX])
+            best = router.loc_rib.get(PREFIX)
+            outcomes.add(best.peer if best else "none")
+        return outcomes
+
+    outcomes = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    print(f"\n  concrete baseline outcomes: {sorted(outcomes)}")
+    assert len(outcomes) == 1

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Programming-error scenario: concolic exploration finds a crash bug.
+
+Router r2 carries a latent bug modeled on a real class of C-router
+defect: a specific community value (0xffff0000) trips a missing bounds
+check and crashes the daemon.  Random fuzzing rarely finds a 1-in-2^32
+value; concolic execution *solves* for it — it observes the comparison
+against the community in the handler, negates it, and asks the solver
+for bytes that make it true.
+
+The crash happens in DiCE's cloned snapshot, never in the live router.
+
+Run:  python examples/buggy_router.py
+"""
+
+import dataclasses
+
+from repro import DiceOrchestrator, OrchestratorConfig, quickstart_system
+from repro.bgp import faults
+from repro.checks import default_property_suite
+from repro.viz import render_campaign
+
+
+def main() -> None:
+    live = quickstart_system(seed=5)
+    router = live.router("r2")
+    router.config = dataclasses.replace(
+        router.config,
+        enabled_bugs=frozenset({faults.BUG_COMMUNITY_CRASH}),
+    )
+    live.converge()
+    print(
+        "r2 carries a latent bug: community "
+        f"{faults.COMMUNITY_CRASH_VALUE:#010x} crashes its UPDATE handler"
+    )
+
+    dice = DiceOrchestrator(live, default_property_suite())
+    result = dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=250,
+            explorer_nodes=["r2"],
+            grammar_seeds=5,
+            seed=11,
+        )
+    )
+    print(render_campaign(result))
+
+    crash_reports = [
+        report for report in result.reports
+        if report.fault_class == "programming_error"
+    ]
+    assert crash_reports, "the crash bug must be found"
+    print(f"\ncrash-triggering input: {crash_reports[0].input_summary}")
+    print(f"live r2 crash count (must be 0): {live.router('r2').crash_count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Offline parser testing — the paper's mitigation (ii) in action.
+
+DiCE keeps online exploration focused on state-changing handlers because
+"other code such as message parsers could be tested offline".  This
+example runs that offline harness against the BGP message decoder:
+grammar seeds, concolic negation of decoder branches, random mutation,
+and a replayed regression corpus — at hundreds of inputs per second,
+versus ~2 inputs/second for full online exploration.
+
+Run:  python examples/offline_parser.py
+"""
+
+from repro.bgp.messages import KeepaliveMessage, OpenMessage
+from repro.bgp.ip import IPv4Address
+from repro.core.offline import OfflineParserTester
+
+
+def main() -> None:
+    tester = OfflineParserTester(seed=42)
+    # A regression corpus: known-good frames plus past trouble-makers.
+    tester.add_corpus([
+        KeepaliveMessage().encode(),
+        OpenMessage(65001, 90, IPv4Address("10.0.0.1")).encode(),
+        b"",                      # the empty read
+        b"\xff" * 19,             # header-only garbage claiming length 0xffff
+        b"\xff" * 16 + b"\x00\x13\x02",  # UPDATE with no body
+    ])
+    report = tester.run(budget=500)
+    print(report.summary())
+    rate = report.inputs / max(report.duration, 1e-9)
+    print(f"\nthroughput: {rate:.0f} decoder inputs/second")
+    if report.crashes:
+        raise SystemExit("parser bugs found — see findings above")
+    print("parser clean: every malformed input answered with a proper "
+          "NOTIFICATION-mapped error")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Operator-mistake scenario: a prefix hijack caught by DiCE.
+
+The operator of AS 65003 adds ``network 10.1.0.0/16`` — address space
+registered to AS 65001.  The change is locally valid (the router
+happily originates it), but DiCE's federated origin-authenticity check
+flags it: the registered owner, asked over the narrow sharing
+interface, still originates the space and does not authorize AS 65003.
+
+This is the scenario the paper's introduction motivates ("the
+Internet's routing has suffered from multiple IP prefix hijackings").
+
+Run:  python examples/prefix_hijack.py
+"""
+
+from repro import DiceOrchestrator, OrchestratorConfig, quickstart_system
+from repro.bgp.config import AddNetwork
+from repro.bgp.ip import Prefix
+from repro.checks import default_property_suite
+from repro.viz import render_campaign
+
+HIJACKED = Prefix("10.1.0.0/16")  # registered to AS 65001 (r1)
+
+
+def main() -> None:
+    live = quickstart_system(seed=3)
+    live.converge()
+    dice = DiceOrchestrator(live, default_property_suite())
+
+    print(f"operator of r3 (AS 65003) adds 'network {HIJACKED}' ...")
+    live.apply_change("r3", AddNetwork(HIJACKED))
+    live.run(until=live.network.sim.now + 5)
+
+    result = dice.run_campaign(
+        OrchestratorConfig(inputs_per_node=15, seed=9)
+    )
+    print(render_campaign(result))
+
+    hijack_reports = [
+        report for report in result.reports
+        if report.fault_class == "operator_mistake"
+    ]
+    assert hijack_reports, "the hijack must be detected"
+    first = hijack_reports[0]
+    print(
+        f"\nhijack detected: AS{first.evidence['origin_as']} originates "
+        f"{first.evidence['prefix']}, registered to "
+        f"AS{first.evidence['owners']}"
+    )
+    print(
+        "note: detection used only yes/no queries over the sharing "
+        "interface — no remote RIB or config was read."
+    )
+
+
+if __name__ == "__main__":
+    main()

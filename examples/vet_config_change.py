@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Proactive what-if analysis: vet a configuration change before applying.
+
+The paper's vision is *proactive* fault detection — finding the fault
+before it occurs in the live system.  This example shows the purest form
+of that workflow: the operator of AS 65003 is about to add
+``network 10.1.0.0/16``.  DiCE snapshots the running system, applies the
+pending change inside an isolated clone, watches the consequences, and
+reports the would-be hijack.  The live network never carries the bad
+announcement.
+
+Run:  python examples/vet_config_change.py
+"""
+
+from repro import DiceOrchestrator, quickstart_system
+from repro.bgp.config import AddNetwork
+from repro.bgp.ip import Prefix
+from repro.checks import default_property_suite
+
+PENDING = AddNetwork(Prefix("10.1.0.0/16"))  # space registered to AS 65001
+SAFE = AddNetwork(Prefix("203.0.113.0/24"))  # unregistered space
+
+
+def main() -> None:
+    live = quickstart_system(seed=8)
+    live.converge()
+    dice = DiceOrchestrator(live, default_property_suite())
+
+    print(f"operator of r3 proposes: {PENDING.describe()}")
+    reports = dice.vet_change("r3", PENDING, horizon=5.0)
+    if reports:
+        print("change REJECTED by pre-deployment vetting:")
+        for report in reports:
+            print(f"  {report.headline()}")
+    assert reports, "the hijacking change must be flagged"
+    assert any(r.fault_class == "operator_mistake" for r in reports)
+
+    # The live system never saw it.
+    route = live.router("r2").loc_rib.get(Prefix("10.1.0.0/16"))
+    assert route is not None and route.peer == "r1"
+    print("\nlive system unchanged: r2 still routes 10.1.0.0/16 via r1")
+
+    print(f"\noperator instead proposes: {SAFE.describe()}")
+    reports = dice.vet_change("r3", SAFE, horizon=5.0)
+    assert reports == [], "the clean change must vet clean"
+    print("change vetted clean — safe to apply")
+    live.apply_change("r3", SAFE)
+    live.converge()
+    print("applied; r1 now reaches", SAFE.prefix, "via",
+          live.router("r1").loc_rib.get(SAFE.prefix).peer)
+
+
+if __name__ == "__main__":
+    main()

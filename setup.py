@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517`` takes the legacy develop path through
+this file; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

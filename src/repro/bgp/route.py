@@ -1,0 +1,83 @@
+"""Route objects: a prefix bound to path attributes plus provenance.
+
+Provenance (which peer, which kind of session, which peer router-id) is
+what the decision process's lower tie-breaks consume, and what the
+federated checkers are *not* allowed to see across domain boundaries —
+hence it lives here rather than in :class:`PathAttributes`, which is the
+on-the-wire part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.ip import IPv4Address, Prefix
+
+SOURCE_EBGP = "ebgp"
+SOURCE_IBGP = "ibgp"
+SOURCE_STATIC = "static"
+
+
+@dataclass(frozen=True)
+class Route:
+    """One candidate path to ``prefix``."""
+
+    prefix: Prefix
+    attributes: PathAttributes
+    source: str = SOURCE_STATIC
+    peer: str | None = None
+    peer_as: int | None = None
+    peer_bgp_id: IPv4Address | None = None
+    received_at: float = 0.0
+    # Symbolic shadows attached by the explorer: maps field names (e.g.
+    # "local_pref", "med", "preferred") to symbolic expressions, so the
+    # policy interpreter and decision process can branch symbolically
+    # even after the concrete values were fixed.  Not part of identity.
+    sym: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self):
+        if self.source not in (SOURCE_EBGP, SOURCE_IBGP, SOURCE_STATIC):
+            raise ValueError(f"bad route source {self.source!r}")
+
+    def with_attributes(self, attributes: PathAttributes) -> "Route":
+        """Copy with replaced attributes (policy actions use this)."""
+        return replace(self, attributes=attributes)
+
+    def effective_local_pref(self, default: int = 100) -> Any:
+        """LOCAL_PREF to use in the decision process.
+
+        The symbolic shadow takes priority so that exploration of the
+        "locally most preferred" condition (paper section 3) sees a
+        symbolic value; otherwise the attribute, otherwise the default.
+        """
+        shadow = self.sym.get("local_pref")
+        if shadow is not None:
+            return shadow
+        if self.attributes.local_pref is not None:
+            return self.attributes.local_pref
+        return default
+
+    def effective_med(self) -> Any:
+        """MED to use in the decision process (absent treated as 0)."""
+        shadow = self.sym.get("med")
+        if shadow is not None:
+            return shadow
+        if self.attributes.med is not None:
+            return self.attributes.med
+        return 0
+
+    @property
+    def origin_as(self) -> int | None:
+        """The AS that originated this route, if the path is non-empty."""
+        return self.attributes.as_path.origin_as()
+
+    def describe(self) -> str:
+        """One-line rendering for traces and the dashboard."""
+        via = self.peer if self.peer is not None else "local"
+        return (
+            f"{self.prefix} via {via} ({self.source}) "
+            f"path [{self.attributes.as_path}] "
+            f"lp={self.attributes.local_pref} med={self.attributes.med}"
+        )

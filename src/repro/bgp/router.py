@@ -1,0 +1,778 @@
+"""The BGP speaker: a :class:`~repro.net.node.Process` running BGP-4.
+
+This is the reproduction's BIRD.  One router holds:
+
+* a :class:`RouterConfig` (which can change at runtime — operator
+  mistakes are configuration changes);
+* one :class:`Session` per configured neighbor, driven by the FSM;
+* per-peer Adj-RIB-In / Adj-RIB-Out and a Loc-RIB;
+* the decision process, import/export policy evaluation, and the
+  update-handling pipeline DiCE instruments.
+
+Wire realism: routers exchange *encoded bytes*, not message objects, so
+byte-level fuzzing and concolic exploration inject through exactly the
+same entry point (:meth:`handle_raw`) as normal traffic.
+
+Crash semantics: an unexpected exception in the update pipeline (e.g. an
+injected programming-error bug) is caught at the top of the handler the
+way a supervised daemon restart would be — the event is traced as
+``router_crash``, all sessions reset, and RIBs clear.  DiCE's crash
+checker distinguishes this from protocol-error NOTIFICATIONs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.bgp import faults
+from repro.bgp.damping import (
+    FLAP_ATTRIBUTE_CHANGE,
+    FLAP_READVERTISE,
+    FLAP_WITHDRAW,
+    FlapDampener,
+)
+from repro.bgp.attributes import (
+    COMMUNITY_NO_ADVERTISE,
+    COMMUNITY_NO_EXPORT,
+    PathAttributes,
+)
+from repro.bgp.config import ConfigChange, RouterConfig
+from repro.bgp.decision import best_route
+from repro.bgp.errors import BGPError, OpenMessageError
+from repro.bgp.fsm import Session, SessionState
+from repro.bgp.ip import IPv4Address, Prefix
+from repro.bgp.messages import (
+    BGPMessage,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    decode_message,
+)
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibChange
+from repro.bgp.route import SOURCE_EBGP, SOURCE_IBGP, SOURCE_STATIC, Route
+from repro.net.node import Process
+
+# Timer names.
+_T_CONNECT = "connect"
+_T_KEEPALIVE = "keepalive"
+_T_HOLD = "hold"
+
+
+class BGPRouter(Process):
+    """A BGP-4 speaker attached to the simulated network."""
+
+    def __init__(self, config: RouterConfig, connect_delay: float = 0.1):
+        super().__init__(config.name)
+        self.config = config
+        self.connect_delay = connect_delay
+        self.sessions: dict[str, Session] = {}
+        self.adj_rib_in: dict[str, AdjRibIn] = {}
+        self.adj_rib_out: dict[str, AdjRibOut] = {}
+        self.loc_rib = LocRib()
+        self.crash_count = 0
+        self.last_crash: str | None = None
+        self.update_handler_calls = 0
+        # MRAI batching: per-peer pending change map (prefix -> latest
+        # change), flushed when the per-peer MRAI timer expires.
+        self._pending_export: dict[str, dict[Prefix, RibChange]] = {}
+        # Route-flap damping (RFC 2439), active when configured.
+        self.dampener = (
+            FlapDampener(params=config.damping)
+            if config.damping is not None
+            else None
+        )
+        # Hooks the explorer uses to observe the pipeline without
+        # monkey-patching: called with (route, verdict) after import
+        # policy, and with the decision-change list after each run.
+        self.on_import: Callable[[Route, bool], None] | None = None
+        self.on_decision: Callable[[list[RibChange]], None] | None = None
+        for neighbor in config.neighbors:
+            self.sessions[neighbor.peer] = Session(
+                peer=neighbor.peer,
+                peer_as=neighbor.peer_as,
+                hold_time=neighbor.hold_time,
+                negotiated_hold_time=neighbor.hold_time,
+            )
+            self.adj_rib_in[neighbor.peer] = AdjRibIn(neighbor.peer)
+            self.adj_rib_out[neighbor.peer] = AdjRibOut(neighbor.peer)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Originate configured networks and begin session establishment."""
+        self._originate_networks()
+        for peer in sorted(self.sessions):
+            self._start_connect(peer)
+
+    def _originate_networks(self) -> None:
+        changes = self._run_decision(list(self.config.networks))
+        self._propagate(changes)
+
+    def _static_route(self, prefix: Prefix) -> Route:
+        attrs = PathAttributes(next_hop=IPv4Address(self.config.router_id))
+        return Route(
+            prefix=prefix,
+            attributes=attrs,
+            source=SOURCE_STATIC,
+            received_at=self.now if self.network else 0.0,
+        )
+
+    def _start_connect(self, peer: str) -> None:
+        session = self.sessions[peer]
+        session.transition(SessionState.CONNECT)
+        self.set_timer(f"{_T_CONNECT}:{peer}", self.connect_delay)
+
+    # -- message plumbing ------------------------------------------------------
+
+    def send_message(self, peer: str, message: BGPMessage) -> None:
+        """Encode and transmit one message to a neighbor."""
+        stats = self.sessions[peer].stats
+        if isinstance(message, UpdateMessage):
+            stats.updates_sent += 1
+        elif isinstance(message, KeepaliveMessage):
+            stats.keepalives_sent += 1
+        elif isinstance(message, OpenMessage):
+            stats.opens_sent += 1
+        elif isinstance(message, NotificationMessage):
+            stats.notifications_sent += 1
+        self.send(peer, message.encode())
+
+    def on_message(self, src: str, payload: Any) -> None:
+        """Entry point for deliveries from the network (wire bytes)."""
+        self.handle_raw(src, payload)
+
+    def handle_raw(self, src: str, data: Any) -> None:
+        """Decode and dispatch one wire message from ``src``.
+
+        This is the instrumented entry point: DiCE's explorer calls it
+        directly with symbolic buffers.  Protocol errors produce
+        NOTIFICATION + session reset; unexpected exceptions are treated
+        as a router crash (see module docstring).
+        """
+        if src not in self.sessions:
+            return  # not a configured neighbor; a real router drops the TCP
+        try:
+            try:
+                message = decode_message(data)
+            except BGPError as error:
+                self._protocol_error(src, error)
+                return
+            self._dispatch(src, message)
+        except BGPError as error:
+            self._protocol_error(src, error)
+        except (KeyboardInterrupt, SystemExit, MemoryError):
+            raise
+        except Exception as crash:  # noqa: BLE001 - daemon-crash semantics
+            # Injected bugs and genuine defects alike: a supervised
+            # daemon dies and restarts; DiCE's crash checker observes
+            # the incremented counter.
+            self._crash(f"{type(crash).__name__}: {crash}")
+
+    def _dispatch(self, src: str, message: BGPMessage) -> None:
+        session = self.sessions[src]
+        if isinstance(message, OpenMessage):
+            session.stats.opens_received += 1
+            self._handle_open(src, message)
+        elif isinstance(message, KeepaliveMessage):
+            session.stats.keepalives_received += 1
+            self._handle_keepalive(src)
+        elif isinstance(message, UpdateMessage):
+            session.stats.updates_received += 1
+            self._handle_update(src, message)
+        elif isinstance(message, NotificationMessage):
+            session.stats.notifications_received += 1
+            self._trace("notification_received", peer=src, code=message.code,
+                        subcode=message.subcode)
+            self._reset_session(src)
+
+    def _protocol_error(self, src: str, error: BGPError) -> None:
+        self._trace("protocol_error", peer=src, code=error.code,
+                    subcode=error.subcode, detail=str(error))
+        if self.sessions[src].state != SessionState.IDLE:
+            self.send_message(src, NotificationMessage.from_error(error))
+        self._reset_session(src)
+
+    def _crash(self, detail: str) -> None:
+        self.crash_count += 1
+        self.last_crash = detail
+        self._trace("router_crash", detail=detail)
+        # Daemon restart: all sessions drop, all learned state is lost.
+        for peer in list(self.sessions):
+            self._reset_session(peer, restart=True)
+        for prefix in list(self.loc_rib.prefixes()):
+            route = self.loc_rib.get(prefix)
+            if route is not None and route.source != SOURCE_STATIC:
+                self.loc_rib.set(self.now, prefix, None)
+
+    # -- session FSM -------------------------------------------------------------
+
+    def on_timer(self, name: str) -> None:
+        kind, _, peer = name.partition(":")
+        if kind == _T_CONNECT:
+            self._send_open(peer)
+        elif kind == _T_KEEPALIVE:
+            self._keepalive_tick(peer)
+        elif kind == _T_HOLD:
+            self._hold_expired(peer)
+        elif kind == "restart":
+            # Only reconnect if the session is still down; the peer may
+            # have re-initiated the handshake before our backoff expired.
+            if self.sessions[peer].state == SessionState.IDLE:
+                self._start_connect(peer)
+        elif kind == "mrai":
+            self._mrai_expired(peer)
+        elif kind == "reuse":
+            reuse_peer, _, prefix_text = peer.partition("|")
+            changes = self._run_decision([Prefix(prefix_text)])
+            self._propagate(changes)
+            self._trace("route_reused", peer=reuse_peer, prefix=prefix_text)
+
+    def _send_open(self, peer: str) -> None:
+        session = self.sessions[peer]
+        session.transition(SessionState.OPEN_SENT)
+        self.send_message(
+            peer,
+            OpenMessage(
+                my_as=self.config.local_as,
+                hold_time=session.hold_time,
+                bgp_id=self.config.router_id,
+            ),
+        )
+
+    def _handle_open(self, src: str, message: OpenMessage) -> None:
+        session = self.sessions[src]
+        self.cancel_timer(f"{_T_CONNECT}:{src}")
+        if message.my_as != session.peer_as:
+            raise OpenMessageError(
+                OpenMessageError.BAD_PEER_AS,
+                f"expected AS {session.peer_as}, got {message.my_as}",
+            )
+        if session.state in (SessionState.ESTABLISHED, SessionState.OPEN_CONFIRM):
+            # A fresh OPEN on a live session means the peer restarted:
+            # drop the stale session (and its routes), then continue the
+            # new handshake immediately.
+            self._reset_session(src, restart=False)
+        session.peer_bgp_id = int(message.bgp_id)
+        session.negotiated_hold_time = min(session.hold_time, message.hold_time) \
+            if message.hold_time else 0
+        if session.state in (SessionState.IDLE, SessionState.CONNECT):
+            # We have not sent our own OPEN on this incarnation yet.
+            self._send_open(src)
+        session.transition(SessionState.OPEN_CONFIRM)
+        self.send_message(src, KeepaliveMessage())
+        self._arm_hold(src)
+
+    def _handle_keepalive(self, src: str) -> None:
+        session = self.sessions[src]
+        if session.state == SessionState.OPEN_CONFIRM:
+            session.transition(SessionState.ESTABLISHED)
+            session.established_at = self.now
+            self._trace("session_established", peer=src)
+            self._arm_keepalive(src)
+            self._advertise_full_table(src)
+        self._arm_hold(src)
+
+    def _arm_keepalive(self, peer: str) -> None:
+        interval = self.sessions[peer].keepalive_interval()
+        if interval > 0:
+            self.set_timer(f"{_T_KEEPALIVE}:{peer}", interval)
+
+    def _arm_hold(self, peer: str) -> None:
+        hold = self.sessions[peer].negotiated_hold_time
+        if hold > 0:
+            self.set_timer(f"{_T_HOLD}:{peer}", float(hold))
+
+    def _keepalive_tick(self, peer: str) -> None:
+        session = self.sessions[peer]
+        if session.is_established():
+            self.send_message(peer, KeepaliveMessage())
+            self._arm_keepalive(peer)
+
+    def _hold_expired(self, peer: str) -> None:
+        self._trace("hold_timer_expired", peer=peer)
+        session = self.sessions[peer]
+        if session.state != SessionState.IDLE:
+            self.send_message(peer, NotificationMessage(code=4))
+        self._reset_session(peer)
+
+    def _reset_session(self, peer: str, restart: bool = True) -> None:
+        session = self.sessions[peer]
+        was_established = session.is_established()
+        session.reset()
+        self.cancel_timer(f"{_T_KEEPALIVE}:{peer}")
+        self.cancel_timer(f"{_T_HOLD}:{peer}")
+        self.cancel_timer(f"mrai:{peer}")
+        self._pending_export.pop(peer, None)
+        self.adj_rib_out[peer].clear()
+        affected = self.adj_rib_in[peer].clear()
+        if was_established:
+            self._trace("session_reset", peer=peer)
+        if affected:
+            changes = self._run_decision(affected)
+            self._propagate(changes)
+        if restart and self.network is not None:
+            # Re-establish after a backoff, as a real daemon would.
+            self.set_timer(f"restart:{peer}", 3.0)
+
+    # -- UPDATE pipeline ------------------------------------------------------------
+
+    def _handle_update(self, src: str, message: UpdateMessage) -> None:
+        session = self.sessions[src]
+        if not session.is_established():
+            return  # UPDATEs outside Established are dropped (reduced FSM)
+        self.update_handler_calls += 1
+        self._arm_hold(src)
+        dirty: list[Prefix] = []
+        faults.check_withdraw_overflow(
+            len(message.withdrawn),
+            self.config.bug_enabled(faults.BUG_WITHDRAW_OVERFLOW),
+        )
+        for prefix in message.withdrawn:
+            if self.adj_rib_in[src].withdraw(prefix) is not None:
+                dirty.append(prefix)
+                self._record_flap(src, prefix, FLAP_WITHDRAW)
+        if message.nlri:
+            assert message.attributes is not None  # decoder guarantees
+            for prefix in message.nlri:
+                route = self._build_route(src, prefix, message.attributes)
+                accepted = self._import_route(src, route)
+                if accepted:
+                    dirty.append(prefix)
+        if dirty:
+            changes = self._run_decision(dirty)
+            self._propagate(changes)
+
+    def _build_route(self, src: str, prefix: Prefix,
+                     attributes: PathAttributes) -> Route:
+        session = self.sessions[src]
+        neighbor = self.config.neighbor(src)
+        source = SOURCE_IBGP if neighbor.is_ibgp(self.config.local_as) else SOURCE_EBGP
+        peer_id = (
+            IPv4Address(session.peer_bgp_id)
+            if session.peer_bgp_id is not None
+            else None
+        )
+        return Route(
+            prefix=prefix,
+            attributes=attributes,
+            source=source,
+            peer=src,
+            peer_as=neighbor.peer_as,
+            peer_bgp_id=peer_id,
+            received_at=self.now,
+        )
+
+    def _import_route(self, src: str, route: Route) -> bool:
+        """Ingress checks + import policy; installs into Adj-RIB-In.
+
+        Returns True when the prefix needs a decision-process run (both
+        on accept and on an implicit withdraw of a previously accepted
+        route that is now rejected).
+        """
+        faults.check_community_crash(
+            route.attributes.communities,
+            self.config.bug_enabled(faults.BUG_COMMUNITY_CRASH),
+        )
+        verdict = False
+        filtered = route
+        if self._ingress_ok(src, route):
+            result = self._eval_filter(src, route, direction="import")
+            if result.fell_through:
+                self._trace("filter_fell_through", peer=src,
+                            direction="import", prefix=str(route.prefix))
+            if result.accepted:
+                verdict = True
+                filtered = route.with_attributes(result.attributes)
+        if self.on_import is not None:
+            self.on_import(route, verdict)
+        if not verdict:
+            # Treat-as-withdraw for routes that fail checks or policy;
+            # losing a previously-held route this way is a flap too
+            # (RFC 2439 counts implicit withdrawals).
+            removed = self.adj_rib_in[src].withdraw(route.prefix) is not None
+            if removed:
+                self._record_flap(src, route.prefix, FLAP_WITHDRAW)
+            return removed
+        previous = self.adj_rib_in[src].update(filtered)
+        if previous is None:
+            self._record_flap(src, route.prefix, FLAP_READVERTISE)
+        elif previous.attributes != filtered.attributes:
+            self._record_flap(src, route.prefix, FLAP_ATTRIBUTE_CHANGE)
+        return True
+
+    def _record_flap(self, peer: str, prefix: Prefix, kind: str) -> None:
+        if self.dampener is None:
+            return
+        suppressed = self.dampener.record_flap(peer, prefix, kind, self.now)
+        if suppressed:
+            self._trace("route_suppressed", peer=peer, prefix=str(prefix))
+            eta = self.dampener.reuse_eta(peer, prefix, self.now)
+            if eta is not None and self.network is not None:
+                self.set_timer(f"reuse:{peer}|{prefix}", eta + 0.01)
+
+    def _ingress_ok(self, src: str, route: Route) -> bool:
+        path = route.attributes.as_path
+        if path.contains(self.config.local_as):
+            self._trace("loop_rejected", peer=src, prefix=str(route.prefix))
+            return False
+        if route.source == SOURCE_EBGP:
+            neighbor = self.config.neighbor(src)
+            first = path.first_as()
+            if first is not None and first != neighbor.peer_as:
+                self._trace("first_as_mismatch", peer=src,
+                            prefix=str(route.prefix))
+                return False
+        return True
+
+    def _eval_filter(self, src: str, route: Route, direction: str):
+        neighbor = self.config.neighbor(src)
+        name = (
+            neighbor.import_filter if direction == "import"
+            else neighbor.export_filter
+        )
+        policy = self.config.get_filter(name)
+        return policy.evaluate(
+            route, default_local_pref=self.config.default_local_pref
+        )
+
+    # -- decision process ---------------------------------------------------------
+
+    def _candidates(self, prefix: Prefix) -> list[Route]:
+        routes = []
+        if prefix in set(self.config.networks):
+            routes.append(self._static_route(prefix))
+        for peer in sorted(self.adj_rib_in):
+            route = self.adj_rib_in[peer].get(prefix)
+            if route is None:
+                continue
+            if self.dampener is not None and self.dampener.is_suppressed(
+                peer, prefix, self.now
+            ):
+                continue
+            routes.append(route)
+        return routes
+
+    def _run_decision(self, prefixes: list[Prefix]) -> list[RibChange]:
+        changes: list[RibChange] = []
+        for prefix in dict.fromkeys(prefixes):  # dedupe, keep order
+            candidates = self._candidates(prefix)
+            best = self._select(candidates)
+            change = self.loc_rib.set(self.now, prefix, best)
+            if change is not None:
+                changes.append(change)
+                self._trace(
+                    "rib_change",
+                    prefix=str(prefix),
+                    transition=change.kind,
+                    via=None if best is None else (best.peer or "local"),
+                )
+        if self.on_decision is not None and changes:
+            self.on_decision(changes)
+        return changes
+
+    def _select(self, candidates: list[Route]) -> Route | None:
+        """The route selection process, with injected-bug hooks applied."""
+        if not candidates:
+            return None
+        adjusted = [self._apply_semantic_bugs(route) for route in candidates]
+        best = best_route(
+            adjusted,
+            default_local_pref=self.config.default_local_pref,
+            always_compare_med=self.config.always_compare_med,
+        )
+        assert best is not None
+        # Map back to the unadjusted route object for installation.
+        index = next(i for i, route in enumerate(adjusted) if route is best)
+        return candidates[index]
+
+    def _apply_semantic_bugs(self, route: Route) -> Route:
+        """Overlay the off-by-one / MED-overflow bugs as symbolic shadows."""
+        shadows = dict(route.sym)
+        if self.config.bug_enabled(faults.BUG_ASPATH_OFF_BY_ONE):
+            true_len = shadows.get("path_len", route.attributes.as_path.length())
+            shadows["path_len"] = faults.buggy_path_length(true_len, True)
+        if self.config.bug_enabled(faults.BUG_MED_SIGNED_OVERFLOW):
+            med = shadows.get(
+                "med",
+                route.attributes.med if route.attributes.med is not None else 0,
+            )
+            shadows["med"] = faults.buggy_med(med, True)
+        if shadows == route.sym:
+            return route
+        adjusted = Route(
+            prefix=route.prefix,
+            attributes=route.attributes,
+            source=route.source,
+            peer=route.peer,
+            peer_as=route.peer_as,
+            peer_bgp_id=route.peer_bgp_id,
+            received_at=route.received_at,
+            sym=shadows,
+        )
+        return adjusted
+
+    # -- export -------------------------------------------------------------------
+
+    def _propagate(self, changes: list[RibChange]) -> None:
+        if not changes:
+            return
+        for peer in sorted(self.sessions):
+            if not self.sessions[peer].is_established():
+                continue
+            if self.config.mrai > 0:
+                self._enqueue_with_mrai(peer, changes)
+            else:
+                self._export_changes(peer, changes)
+
+    def _enqueue_with_mrai(self, peer: str, changes: list[RibChange]) -> None:
+        """Rate-limited export: the first batch goes out immediately and
+        arms the per-peer MRAI timer; later changes coalesce (only the
+        latest change per prefix survives) until the timer fires."""
+        if not self.timer_armed(f"mrai:{peer}"):
+            self._export_changes(peer, changes)
+            self.set_timer(f"mrai:{peer}", self.config.mrai)
+            return
+        pending = self._pending_export.setdefault(peer, {})
+        for change in changes:
+            pending[change.prefix] = change
+
+    def _advertise_full_table(self, peer: str) -> None:
+        """Initial full-table advertisement on session establishment."""
+        changes = [
+            RibChange(self.now, route.prefix, None, route)
+            for route in self.loc_rib.routes()
+        ]
+        self._export_changes(peer, changes)
+
+    def _export_changes(self, peer: str, changes: list[RibChange]) -> None:
+        announce: list[Route] = []
+        withdraw: list[Prefix] = []
+        for change in changes:
+            if change.new is None:
+                if self.adj_rib_out[peer].record_withdraw(change.prefix):
+                    withdraw.append(change.prefix)
+                continue
+            exported = self._export_route(peer, change.new)
+            if exported is None:
+                # Policy now filters it: withdraw if previously advertised.
+                if self.adj_rib_out[peer].record_withdraw(change.prefix):
+                    withdraw.append(change.prefix)
+                continue
+            if self.adj_rib_out[peer].record_announce(exported):
+                announce.append(exported)
+        self._send_updates(peer, announce, withdraw)
+
+    def _send_updates(self, peer: str, announce: list[Route],
+                      withdraw: list[Prefix]) -> None:
+        if withdraw:
+            self.send_message(peer, UpdateMessage(withdrawn=tuple(withdraw)))
+        # One UPDATE per distinct attribute set (RFC allows NLRI packing).
+        by_attrs: dict[tuple, tuple[PathAttributes, list[Prefix]]] = {}
+        for route in announce:
+            key = route.attributes.key()
+            if key not in by_attrs:
+                by_attrs[key] = (route.attributes, [])
+            by_attrs[key][1].append(route.prefix)
+        for attributes, prefixes in by_attrs.values():
+            self.send_message(
+                peer,
+                UpdateMessage(attributes=attributes, nlri=tuple(prefixes)),
+            )
+
+    def _export_route(self, peer: str, route: Route) -> Route | None:
+        """Egress processing toward one neighbor; None = do not advertise."""
+        neighbor = self.config.neighbor(peer)
+        is_ibgp_peer = neighbor.is_ibgp(self.config.local_as)
+        # Do not send a route back to the peer it came from.
+        if route.peer == peer:
+            return None
+        # iBGP-learned routes are not reflected to other iBGP peers
+        # (no route-reflector support; full mesh assumed inside an AS).
+        if route.source == SOURCE_IBGP and is_ibgp_peer:
+            return None
+        attrs = route.attributes
+        # Well-known community semantics.
+        if attrs.has_community(COMMUNITY_NO_ADVERTISE):
+            return None
+        if not is_ibgp_peer and attrs.has_community(COMMUNITY_NO_EXPORT):
+            return None
+        # AS-path based split horizon: never offer a path that already
+        # contains the neighbor's AS (it would be loop-rejected anyway).
+        if not is_ibgp_peer and attrs.as_path.contains(neighbor.peer_as):
+            return None
+        exported = Route(
+            prefix=route.prefix,
+            attributes=attrs,
+            source=route.source,
+            peer=route.peer,
+            peer_as=route.peer_as,
+            peer_bgp_id=route.peer_bgp_id,
+            received_at=route.received_at,
+        )
+        result = self._eval_filter(peer, exported, direction="export")
+        if result is not None:
+            if result.fell_through:
+                self._trace("filter_fell_through", peer=peer,
+                            direction="export", prefix=str(route.prefix))
+            if not result.accepted:
+                return None
+            attrs = result.attributes
+        if not is_ibgp_peer:
+            attrs = attrs.replace(
+                as_path=attrs.as_path.prepend(self.config.local_as),
+                next_hop=IPv4Address(self.config.router_id),
+                local_pref=None,
+                med=neighbor.export_med,
+            )
+        else:
+            lp = attrs.local_pref
+            if lp is None:
+                lp = self.config.default_local_pref
+            attrs = attrs.replace(local_pref=lp)
+        return exported.with_attributes(attrs)
+
+    def _mrai_expired(self, peer: str) -> None:
+        """Flush coalesced changes; re-arm while traffic continues."""
+        pending = self._pending_export.pop(peer, None)
+        if not pending:
+            return
+        if self.sessions[peer].is_established():
+            # Re-resolve each prefix against the *current* Loc-RIB: the
+            # coalesced change may be stale by flush time.
+            fresh = [
+                RibChange(self.now, prefix, change.old,
+                          self.loc_rib.get(prefix))
+                for prefix, change in sorted(pending.items())
+            ]
+            self._export_changes(peer, fresh)
+            self.set_timer(f"mrai:{peer}", self.config.mrai)
+
+    # -- configuration changes -------------------------------------------------------
+
+    def apply_config_change(self, change: ConfigChange) -> None:
+        """Apply a runtime configuration change and reconverge."""
+        old_networks = set(self.config.networks)
+        self.config = change.apply(self.config)
+        self._trace("config_change", change=change.describe())
+        new_networks = set(self.config.networks)
+        dirty = [p for p in old_networks.symmetric_difference(new_networks)]
+        # Filter changes can affect every prefix; re-run decision broadly.
+        if not dirty:
+            dirty = list(
+                dict.fromkeys(
+                    list(self.loc_rib.prefixes())
+                    + [
+                        prefix
+                        for rib in self.adj_rib_in.values()
+                        for prefix in rib.prefixes()
+                    ]
+                )
+            )
+        changes = self._run_decision(dirty)
+        self._propagate(changes)
+
+    def rerun_decision(self, prefixes: list[Prefix]) -> list[RibChange]:
+        """Re-run the decision process for ``prefixes`` and propagate.
+
+        Public entry point for DiCE's route-selection exploration: after
+        planting symbolic preference shadows on Adj-RIB-In routes, the
+        explorer re-triggers selection through the same code path normal
+        updates use.
+        """
+        changes = self._run_decision(prefixes)
+        self._propagate(changes)
+        return changes
+
+    # -- introspection -----------------------------------------------------------------
+
+    def established_peers(self) -> list[str]:
+        """Neighbors whose session is Established."""
+        return sorted(
+            peer for peer, session in self.sessions.items()
+            if session.is_established()
+        )
+
+    def _trace(self, kind: str, **detail: Any) -> None:
+        if self.network is not None:
+            self.network.trace.record(self.now, kind, self.name, **detail)
+
+    # -- checkpoint contract --------------------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """Full protocol state for DiCE checkpoints.
+
+        Routes and attributes are immutable, so the checkpoint layer can
+        share them structurally; sessions and RIB containers are rebuilt.
+        """
+        state = super().export_state()
+        state.update(
+            {
+                "config": self.config,
+                "sessions": {
+                    peer: session.export_state()
+                    for peer, session in self.sessions.items()
+                },
+                "adj_rib_in": {
+                    peer: list(rib.routes())
+                    for peer, rib in self.adj_rib_in.items()
+                },
+                "adj_rib_out": {
+                    peer: {
+                        prefix: rib.advertised(prefix)
+                        for prefix in rib.prefixes()
+                    }
+                    for peer, rib in self.adj_rib_out.items()
+                },
+                "loc_rib": [
+                    (route.prefix, route) for route in self.loc_rib.routes()
+                ],
+                "crash_count": self.crash_count,
+                "update_handler_calls": self.update_handler_calls,
+                "pending_export": {
+                    peer: dict(pending)
+                    for peer, pending in self._pending_export.items()
+                },
+                "damping": (
+                    None if self.dampener is None
+                    else self.dampener.export_state()
+                ),
+            }
+        )
+        return state
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        """Restore from :meth:`export_state` output."""
+        self.config = state["config"]
+        self.sessions = {
+            peer: Session.import_state(session_state)
+            for peer, session_state in state["sessions"].items()
+        }
+        self.adj_rib_in = {}
+        for peer, routes in state["adj_rib_in"].items():
+            rib = AdjRibIn(peer)
+            for route in routes:
+                rib.update(route)
+            self.adj_rib_in[peer] = rib
+        self.adj_rib_out = {}
+        for peer, advertised in state["adj_rib_out"].items():
+            rib = AdjRibOut(peer)
+            for route in advertised.values():
+                if route is not None:
+                    rib.record_announce(route)
+            self.adj_rib_out[peer] = rib
+        self.loc_rib = LocRib()
+        now = self.now if self.network is not None else 0.0
+        for prefix, route in state["loc_rib"]:
+            self.loc_rib.set(now, prefix, route)
+        self.crash_count = state["crash_count"]
+        self.update_handler_calls = state["update_handler_calls"]
+        self._pending_export = {
+            peer: dict(pending)
+            for peer, pending in state.get("pending_export", {}).items()
+        }
+        damping_state = state.get("damping")
+        if damping_state is not None and self.config.damping is not None:
+            self.dampener = FlapDampener(params=self.config.damping)
+            self.dampener.import_state(damping_state)
+        super().import_state(state)

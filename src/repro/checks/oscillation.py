@@ -1,0 +1,86 @@
+"""Policy-conflict detection: the route-stability property.
+
+Conflicting routing policies between domains (the classic "dispute
+wheel", e.g. Griffin's BAD GADGET) make BGP oscillate: the decision
+process keeps replacing the best route for a prefix without ever
+converging.  Locally this is visible as sustained Loc-RIB churn.
+
+The property counts Loc-RIB transitions per prefix during the
+exploration horizon.  Genuine convergence produces a handful of changes
+per prefix (bounded by path exploration during convergence); an
+oscillation produces changes proportional to the horizon.  The default
+threshold (8 transitions of the *same* prefix) sits well above anything
+our topologies produce while converging and well below a single
+oscillation period budget.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.faultclass import FAULT_POLICY_CONFLICT
+from repro.core.properties import SCOPE_LOCAL, CheckContext, Property, Violation
+
+
+class RouteStability(Property):
+    """No prefix may keep changing its selected route."""
+
+    name = "route_stability"
+    scope = SCOPE_LOCAL
+    fault_class = FAULT_POLICY_CONFLICT
+
+    def __init__(self, max_transitions: int = 8,
+                 watch_neighbors: bool = True):
+        self.max_transitions = max_transitions
+        self.watch_neighbors = watch_neighbors
+
+    def prepare(self, context: CheckContext) -> None:
+        for name, process in context.clone.processes.items():
+            rib = getattr(process, "loc_rib", None)
+            if rib is not None:
+                # Counter-based baseline: immune to journal eviction on
+                # systems that have churned for a long time already.
+                context.baseline[f"changes:{name}"] = rib.changes_total
+
+    def check(self, context: CheckContext) -> list[Violation]:
+        violations: list[Violation] = []
+        nodes = (
+            sorted(context.clone.processes)
+            if self.watch_neighbors
+            else [context.node]
+        )
+        for name in nodes:
+            process = context.clone.processes[name]
+            rib = getattr(process, "loc_rib", None)
+            if rib is None:
+                continue
+            baseline = context.baseline.get(f"changes:{name}", 0)
+            fresh = rib.recent_changes(rib.changes_total - baseline)
+            per_prefix = Counter(change.prefix for change in fresh)
+            for prefix, count in sorted(per_prefix.items()):
+                if count < self.max_transitions:
+                    continue
+                flaps = [
+                    change for change in fresh if change.prefix == prefix
+                ]
+                violations.append(
+                    Violation(
+                        property_name=self.name,
+                        fault_class=self.fault_class,
+                        node=name,
+                        detail=(
+                            f"{prefix} changed best route {count} times "
+                            f"within the exploration horizon "
+                            f"(threshold {self.max_transitions}) — "
+                            "likely policy-conflict oscillation"
+                        ),
+                        evidence={
+                            "prefix": str(prefix),
+                            "transitions": count,
+                            "first_at": flaps[0].time,
+                            "last_at": flaps[-1].time,
+                            "origin_node": context.node,
+                        },
+                    )
+                )
+        return violations

@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Three subcommands cover the operator-facing workflows:
+
+* ``campaign`` — build a topology (built-in name or config file + link
+  list), converge it, run a DiCE campaign, print the dashboard and
+  optionally save the JSON report;
+* ``offline-parser`` — run the offline message-parser harness;
+* ``topology`` — print a topology's tier map (Figure 1's static half).
+
+Examples::
+
+    python -m repro campaign --topology demo27 --inputs 10 --nodes tr-1
+    python -m repro campaign --topology quickstart --report /tmp/out.json
+    python -m repro offline-parser --budget 500
+    python -m repro topology --topology demo27
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import DiceOrchestrator, OrchestratorConfig, quickstart_system
+from repro.checks import default_property_suite
+from repro.core.live import LiveSystem
+from repro.core.offline import OfflineParserTester
+from repro.core.reporting import save_campaign
+from repro.viz import render_campaign, render_live_system, render_topology
+
+_BUILTIN_TOPOLOGIES = ("quickstart", "demo27", "bad-gadget", "good-gadget")
+
+
+def _build_live(name: str, seed: int):
+    """Build a named topology; returns (live, topology-or-None)."""
+    if name == "quickstart":
+        return quickstart_system(seed=seed), None
+    if name == "demo27":
+        from repro.topo.demo27 import build_demo27
+
+        topology = build_demo27()
+        return (
+            LiveSystem.build(topology.configs, topology.links, seed=seed),
+            topology,
+        )
+    if name == "bad-gadget":
+        from repro.topo.gadgets import build_bad_gadget
+
+        configs, links = build_bad_gadget()
+        return LiveSystem.build(configs, links, seed=seed), None
+    if name == "good-gadget":
+        from repro.topo.gadgets import build_good_gadget
+
+        configs, links = build_good_gadget()
+        return LiveSystem.build(configs, links, seed=seed), None
+    raise SystemExit(
+        f"unknown topology {name!r}; choose from "
+        f"{', '.join(_BUILTIN_TOPOLOGIES)}"
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    live, topology = _build_live(args.topology, args.seed)
+    if topology is not None:
+        print(render_topology(topology))
+        print()
+    converged_at = live.converge(deadline=600)
+    print(f"converged at t={converged_at:.1f}s")
+    print(render_live_system(live))
+    print()
+    dice = DiceOrchestrator(live, default_property_suite())
+    result = dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=args.inputs,
+            cycles=args.cycles,
+            strategy=args.strategy,
+            explorer_nodes=args.nodes if args.nodes else None,
+            horizon=args.horizon,
+            seed=args.seed,
+        )
+    )
+    print(render_campaign(result))
+    if args.report:
+        save_campaign(result, args.report)
+        print(f"\nJSON report written to {args.report}")
+    return 1 if (args.fail_on_fault and result.reports) else 0
+
+
+def _cmd_offline_parser(args: argparse.Namespace) -> int:
+    tester = OfflineParserTester(seed=args.seed)
+    report = tester.run(budget=args.budget)
+    print(report.summary())
+    return 1 if report.crashes else 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    _, topology = _build_live(args.topology, args.seed)
+    if topology is None:
+        print(f"{args.topology} has no tiered structure to render")
+        return 0
+    print(render_topology(topology))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiCE: online testing of federated distributed systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run a DiCE campaign")
+    campaign.add_argument("--topology", default="quickstart",
+                          choices=_BUILTIN_TOPOLOGIES)
+    campaign.add_argument("--inputs", type=int, default=20,
+                          help="exploration inputs per node")
+    campaign.add_argument("--cycles", type=int, default=1)
+    campaign.add_argument("--strategy", default="concolic",
+                          choices=("concolic", "random", "grammar"))
+    campaign.add_argument("--nodes", nargs="*", default=None,
+                          help="explorer nodes (default: all)")
+    campaign.add_argument("--horizon", type=float, default=5.0,
+                          help="clone propagation horizon (sim seconds)")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--report", default=None,
+                          help="write JSON report to this path")
+    campaign.add_argument("--fail-on-fault", action="store_true",
+                          help="exit non-zero when faults are found")
+    campaign.set_defaults(handler=_cmd_campaign)
+
+    offline = sub.add_parser("offline-parser",
+                             help="offline message-parser testing")
+    offline.add_argument("--budget", type=int, default=300)
+    offline.add_argument("--seed", type=int, default=0)
+    offline.set_defaults(handler=_cmd_offline_parser)
+
+    topo = sub.add_parser("topology", help="print a topology")
+    topo.add_argument("--topology", default="demo27",
+                      choices=_BUILTIN_TOPOLOGIES)
+    topo.add_argument("--seed", type=int, default=0)
+    topo.set_defaults(handler=_cmd_topology)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Concolic execution engine — the reproduction's Oasis.
+
+Concolic (CONCrete + symbOLIC) execution runs the program on a concrete
+input while shadowing chosen input bytes with symbolic variables.  Every
+branch the program takes on a shadowed value records a path constraint;
+negating a recorded constraint and solving yields a new concrete input
+that drives execution down a different path (generational search, as in
+SAGE and the paper's Oasis engine).
+
+The pieces:
+
+* :mod:`expr` — the expression/constraint AST;
+* :mod:`symbolic` — ``SymInt``/``SymBool``/``SymBytes`` proxy values and
+  the :class:`PathRecorder` that collects branch constraints;
+* :mod:`solver` — a constraint solver (interval reasoning, byte-
+  concatenation decomposition, bounded backtracking search);
+* :mod:`engine` — the exploration driver;
+* :mod:`grammar` — grammar-based generation of structurally valid BGP
+  UPDATE messages with symbolic field marks (the paper's third
+  path-explosion mitigation).
+"""
+
+from repro.concolic.expr import BinOp, Constraint, Const, UnOp, Var
+from repro.concolic.symbolic import (
+    PathRecorder,
+    SymBool,
+    SymBytes,
+    SymInt,
+    concrete,
+)
+from repro.concolic.solver import Solver, SolverStats
+from repro.concolic.engine import ConcolicEngine, Execution, ExplorationResult
+from repro.concolic.grammar import UpdateGrammar, GeneratedInput
+
+__all__ = [
+    "Var",
+    "Const",
+    "BinOp",
+    "UnOp",
+    "Constraint",
+    "PathRecorder",
+    "SymInt",
+    "SymBool",
+    "SymBytes",
+    "concrete",
+    "Solver",
+    "SolverStats",
+    "ConcolicEngine",
+    "Execution",
+    "ExplorationResult",
+    "UpdateGrammar",
+    "GeneratedInput",
+]

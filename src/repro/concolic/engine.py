@@ -1,0 +1,278 @@
+"""The concolic exploration driver (generational search).
+
+Given a *program* (any callable taking a :class:`SymBytes`) and a seed
+input, the engine:
+
+1. runs the program, recording the branch sequence;
+2. for each branch ``i`` past the execution's bound, builds the child
+   query "path prefix up to ``i`` plus the negation of branch ``i``" and
+   asks the solver for an input;
+3. queues solved children (bound = ``i + 1``, which prevents re-negating
+   ancestors — the SAGE dedupe) and repeats until the budget runs out or
+   the frontier empties.
+
+Crashes (unexpected exceptions from the program) are first-class results:
+DiCE's explorer harvests them as programming-error fault candidates.
+
+The module also provides :class:`RandomByteExplorer`, the byte-flipping
+fuzzer used as the baseline in EXP-EXPLORE.  It shares the execution and
+path-measurement machinery so coverage numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.concolic import path as pathmod
+from repro.concolic.expr import shape_hash
+from repro.concolic.solver import Solver
+from repro.concolic.symbolic import PathRecorder, SymBytes
+
+Program = Callable[[SymBytes], Any]
+
+# Exceptions that indicate harness bugs rather than program behaviour.
+_HARNESS_ERRORS = (KeyboardInterrupt, SystemExit, MemoryError)
+
+
+@dataclass
+class Execution:
+    """One run of the program on one concrete input."""
+
+    input: SymBytes
+    branches: list = field(repr=False)
+    result: Any = None
+    exception: Exception | None = None
+    duration: float = 0.0
+    bound: int = 0
+
+    @property
+    def crashed(self) -> bool:
+        """True when the program raised an unexpected exception."""
+        return self.exception is not None
+
+    @property
+    def signature(self) -> tuple:
+        """Path identity."""
+        return pathmod.signature(self.branches)
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregate outcome of one exploration session."""
+
+    executions: int = 0
+    unique_paths: int = 0
+    crashes: list[Execution] = field(default_factory=list)
+    solver_queries: int = 0
+    solver_sat: int = 0
+    divergences: int = 0
+    frontier_exhausted: bool = False
+    duration: float = 0.0
+    # Unique branch constraints seen (offset-sensitive) and unique
+    # constraint *shapes* (variable-identity-insensitive; comparable
+    # across strategies that mark different offsets).
+    branch_coverage: int = 0
+    shape_coverage: int = 0
+    # (executions-so-far, unique-paths-so-far) samples for plots.
+    progress: list[tuple[int, int]] = field(default_factory=list)
+
+    def paths_per_execution(self) -> float:
+        """Exploration efficiency: new paths per run."""
+        if self.executions == 0:
+            return 0.0
+        return self.unique_paths / self.executions
+
+
+class ConcolicEngine:
+    """Generational-search concolic explorer over one program."""
+
+    FRONTIER_BFS = "bfs"
+    FRONTIER_DFS = "dfs"
+    FRONTIER_COVERAGE = "coverage"
+
+    def __init__(
+        self,
+        program: Program,
+        solver: Solver | None = None,
+        max_executions: int = 200,
+        max_branches_per_run: int = 50_000,
+        stop_on_first_crash: bool = False,
+        frontier: str = FRONTIER_BFS,
+    ):
+        if frontier not in (self.FRONTIER_BFS, self.FRONTIER_DFS,
+                            self.FRONTIER_COVERAGE):
+            raise ValueError(f"unknown frontier discipline {frontier!r}")
+        self._program = program
+        self._solver = solver if solver is not None else Solver()
+        self._max_executions = max_executions
+        self._max_branches = max_branches_per_run
+        self._stop_on_first_crash = stop_on_first_crash
+        self._frontier = frontier
+
+    def run_once(self, sym_input: SymBytes, bound: int = 0) -> Execution:
+        """Execute the program once, recording its path."""
+        recorder = PathRecorder(max_branches=self._max_branches)
+        started = time.perf_counter()
+        result = None
+        exception: Exception | None = None
+        with recorder:
+            try:
+                result = self._program(sym_input)
+            except _HARNESS_ERRORS:
+                raise
+            except Exception as exc:  # noqa: BLE001 - crashes are data here
+                exception = exc
+        duration = time.perf_counter() - started
+        return Execution(
+            input=sym_input,
+            branches=recorder.branches,
+            result=result,
+            exception=exception,
+            duration=duration,
+            bound=bound,
+        )
+
+    def explore(self, seed_inputs: list[SymBytes]) -> ExplorationResult:
+        """Run generational search from the given seeds."""
+        started = time.perf_counter()
+        result = ExplorationResult()
+        seen_paths: set[tuple] = set()
+        seen_flips: set[tuple] = set()
+        seen_constraints: set[int] = set()
+        seen_shapes: set[int] = set()
+        # Queue entries: (input, bound, novelty) where novelty is the
+        # flipped constraint's hash-unseen-ness at enqueue time; the
+        # coverage discipline serves novel flips first.
+        queue: list[tuple[SymBytes, int, bool]] = [
+            (seed, 0, True) for seed in seed_inputs
+        ]
+        while queue and result.executions < self._max_executions:
+            if self._frontier == self.FRONTIER_DFS:
+                sym_input, bound, _ = queue.pop()
+            elif self._frontier == self.FRONTIER_COVERAGE:
+                index = next(
+                    (i for i, entry in enumerate(queue) if entry[2]), 0
+                )
+                sym_input, bound, _ = queue.pop(index)
+            else:
+                sym_input, bound, _ = queue.pop(0)
+            execution = self.run_once(sym_input, bound)
+            result.executions += 1
+            for constraint, _ in execution.branches:
+                seen_constraints.add(hash(constraint))
+                seen_shapes.add(shape_hash(constraint))
+            sig = execution.signature
+            if sig not in seen_paths:
+                seen_paths.add(sig)
+                result.unique_paths += 1
+            result.progress.append((result.executions, result.unique_paths))
+            if execution.crashed:
+                result.crashes.append(execution)
+                if self._stop_on_first_crash:
+                    break
+            queue.extend(
+                self._expand(execution, seen_flips, seen_constraints, result)
+            )
+        result.frontier_exhausted = not queue
+        result.duration = time.perf_counter() - started
+        result.branch_coverage = len(seen_constraints)
+        result.shape_coverage = len(seen_shapes)
+        result.solver_queries = self._solver.stats.queries
+        result.solver_sat = self._solver.stats.sat
+        return result
+
+    def _expand(
+        self,
+        execution: Execution,
+        seen_flips: set[tuple],
+        seen_constraints: set[int],
+        result: ExplorationResult,
+    ) -> list[tuple[SymBytes, int, bool]]:
+        """Generate child inputs by negating each branch past the bound."""
+        children: list[tuple[SymBytes, int, bool]] = []
+        branches = execution.branches
+        hint = {
+            var.name: execution.input.concrete[offset]
+            for offset, var in execution.input.variables().items()
+        }
+        for index in range(execution.bound, len(branches)):
+            constraint, _ = branches[index]
+            # Skip branches whose constraint mentions no variables we
+            # control (fully concrete subexpressions fold away already,
+            # but shadows planted by other layers may appear).
+            if not any(True for _ in constraint.variables()):
+                continue
+            flip_sig = pathmod.flip_signature(branches, index)
+            if flip_sig in seen_flips:
+                continue
+            seen_flips.add(flip_sig)
+            query = pathmod.flip_at(branches, index)
+            model = self._solver.solve(query, hint=hint)
+            if model is None:
+                continue
+            child_input = execution.input.with_values(model)
+            novel = hash(branches[index][0].negated()) not in seen_constraints
+            children.append((child_input, index + 1, novel))
+        return children
+
+
+class RandomByteExplorer:
+    """Baseline: random byte mutations of the seed, same measurements.
+
+    Mutates 1..4 random marked bytes per iteration.  Paths are recorded
+    with the same machinery, so ``unique_paths``/``branch_coverage`` are
+    apples-to-apples with :class:`ConcolicEngine`.
+    """
+
+    def __init__(self, program: Program, seed: int = 0,
+                 max_executions: int = 200,
+                 max_branches_per_run: int = 50_000):
+        import random as _random
+
+        self._program = program
+        self._rng = _random.Random(seed)
+        self._max_executions = max_executions
+        self._engine = ConcolicEngine(
+            program, max_executions=max_executions,
+            max_branches_per_run=max_branches_per_run,
+        )
+
+    def explore(self, seed_inputs: list[SymBytes]) -> ExplorationResult:
+        """Run the random-mutation loop from the given seeds."""
+        started = time.perf_counter()
+        result = ExplorationResult()
+        seen_paths: set[tuple] = set()
+        seen_constraints: set[int] = set()
+        seen_shapes: set[int] = set()
+        current = list(seed_inputs)
+        while result.executions < self._max_executions:
+            base = current[result.executions % len(current)]
+            mutated = self._mutate(base)
+            execution = self._engine.run_once(mutated)
+            result.executions += 1
+            for constraint, _ in execution.branches:
+                seen_constraints.add(hash(constraint))
+                seen_shapes.add(shape_hash(constraint))
+            sig = execution.signature
+            if sig not in seen_paths:
+                seen_paths.add(sig)
+                result.unique_paths += 1
+            result.progress.append((result.executions, result.unique_paths))
+            if execution.crashed:
+                result.crashes.append(execution)
+        result.duration = time.perf_counter() - started
+        result.branch_coverage = len(seen_constraints)
+        result.shape_coverage = len(seen_shapes)
+        return result
+
+    def _mutate(self, sym_input: SymBytes) -> SymBytes:
+        offsets = sorted(sym_input.variables())
+        if not offsets:
+            return sym_input
+        data = bytearray(sym_input.concrete)
+        for _ in range(self._rng.randint(1, 4)):
+            offset = self._rng.choice(offsets)
+            data[offset] = self._rng.randint(0, 255)
+        return SymBytes(bytes(data), sym_input.variables())

@@ -1,0 +1,248 @@
+"""Grammar-based generation of BGP UPDATE messages with symbolic marks.
+
+The paper's third path-explosion mitigation: "we subject the node's code
+to small-sized inputs, and apply grammar-based fuzzing to produce a large
+number of valid inputs".  This module builds *structurally valid* UPDATE
+messages — correct marker, lengths that add up, mandatory attributes
+present — and records which byte offsets carry protocol *values*: NLRI
+prefix length and network bytes, and each path attribute's type, length
+and value bytes (exactly the fields section 3 marks symbolic).
+
+The concolic engine then owns those offsets: negating a decoder branch
+can turn a valid message into one exercising an error path, while the
+framing stays intact so exploration is not wasted re-discovering the
+message envelope.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import (
+    AGGREGATOR,
+    AS_PATH,
+    ATOMIC_AGGREGATE,
+    COMMUNITY,
+    LOCAL_PREF,
+    MULTI_EXIT_DISC,
+    NEXT_HOP,
+    ORIGIN,
+    SEGMENT_AS_SEQUENCE,
+)
+from repro.bgp.ip import Prefix
+from repro.bgp.messages import HEADER_SIZE, MARKER, TYPE_UPDATE
+from repro.concolic.symbolic import SymBytes
+
+
+@dataclass
+class GeneratedInput:
+    """A generated message plus its symbolic-mark offsets."""
+
+    data: bytes
+    marked_offsets: list[int]
+    description: str
+
+    def symbolic(self, prefix: str = "u") -> SymBytes:
+        """Wrap as a SymBytes with the grammar's marks."""
+        return SymBytes.mark_offsets(self.data, self.marked_offsets, prefix)
+
+
+class _Builder:
+    """Byte accumulator that tracks marked (symbolic) offsets."""
+
+    def __init__(self):
+        self._out = bytearray()
+        self.marks: list[int] = []
+
+    def u8(self, value: int, mark: bool = False) -> None:
+        if mark:
+            self.marks.append(len(self._out))
+        self._out.append(value & 0xFF)
+
+    def u16(self, value: int, mark: bool = False) -> None:
+        self.u8((value >> 8) & 0xFF, mark)
+        self.u8(value & 0xFF, mark)
+
+    def u32(self, value: int, mark: bool = False) -> None:
+        self.u16((value >> 16) & 0xFFFF, mark)
+        self.u16(value & 0xFFFF, mark)
+
+    def raw(self, data: bytes, mark: bool = False) -> None:
+        for byte in data:
+            self.u8(byte, mark)
+
+    def splice_u16(self, offset: int, value: int) -> None:
+        """Patch a previously written 16-bit field (length back-fill)."""
+        self._out[offset] = (value >> 8) & 0xFF
+        self._out[offset + 1] = value & 0xFF
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def bytes(self) -> bytes:
+        return bytes(self._out)
+
+
+@dataclass
+class UpdateGrammar:
+    """Randomized generator of valid UPDATE messages.
+
+    Parameters bound the *size* of inputs (mitigation (iii): small
+    inputs).  Prefix and ASN pools default to private-use space but are
+    normally seeded from the live node's RIB and neighbor set so that
+    generated messages are plausible for the current configuration.
+    """
+
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    prefix_pool: tuple[Prefix, ...] = (
+        Prefix("10.0.0.0/8"),
+        Prefix("10.1.0.0/16"),
+        Prefix("10.2.0.0/16"),
+        Prefix("192.168.0.0/16"),
+    )
+    asn_pool: tuple[int, ...] = (65001, 65002, 65003, 65010)
+    next_hop_pool: tuple[int, ...] = (0x0A000001, 0x0A000002)
+    max_nlri: int = 3
+    max_withdrawn: int = 2
+    max_path_length: int = 4
+    max_communities: int = 3
+    mark_structure: bool = True  # mark type/length bytes, not just values
+
+    def generate(self) -> GeneratedInput:
+        """Produce one message with fresh random choices."""
+        builder = _Builder()
+        builder.raw(MARKER)
+        length_at = len(builder)
+        builder.u16(0)  # total length, patched below
+        builder.u8(TYPE_UPDATE)
+        description = self._body(builder)
+        builder.splice_u16(length_at, len(builder))
+        return GeneratedInput(builder.bytes(), builder.marks, description)
+
+    def generate_many(self, count: int) -> list[GeneratedInput]:
+        """Produce ``count`` messages."""
+        return [self.generate() for _ in range(count)]
+
+    # -- message structure --
+
+    def _body(self, builder: _Builder) -> str:
+        withdrawn_count = self.rng.randint(0, self.max_withdrawn)
+        nlri_count = self.rng.randint(0 if withdrawn_count else 1, self.max_nlri)
+        parts = []
+
+        withdrawn_len_at = len(builder)
+        builder.u16(0)
+        start = len(builder)
+        for _ in range(withdrawn_count):
+            self._nlri_entry(builder)
+        builder.splice_u16(withdrawn_len_at, len(builder) - start)
+        if withdrawn_count:
+            parts.append(f"withdraw x{withdrawn_count}")
+
+        attr_len_at = len(builder)
+        builder.u16(0)
+        attr_start = len(builder)
+        if nlri_count:
+            parts.extend(self._attributes(builder))
+        builder.splice_u16(attr_len_at, len(builder) - attr_start)
+
+        for _ in range(nlri_count):
+            self._nlri_entry(builder)
+        if nlri_count:
+            parts.append(f"announce x{nlri_count}")
+        return ", ".join(parts) if parts else "empty"
+
+    def _nlri_entry(self, builder: _Builder) -> None:
+        prefix = self.rng.choice(self.prefix_pool)
+        builder.u8(prefix.length, mark=True)
+        needed = (prefix.length + 7) // 8
+        network_bytes = prefix.network.to_bytes(4, "big")[:needed]
+        builder.raw(network_bytes, mark=True)
+
+    def _attributes(self, builder: _Builder) -> list[str]:
+        parts = ["origin", "as_path", "next_hop"]
+        structural = self.mark_structure
+        # ORIGIN
+        builder.u8(0x40, mark=structural)
+        builder.u8(ORIGIN, mark=structural)
+        builder.u8(1, mark=structural)
+        builder.u8(self.rng.choice((0, 1, 2)), mark=True)
+        # AS_PATH: one sequence segment
+        hops = self.rng.randint(1, self.max_path_length)
+        builder.u8(0x40, mark=structural)
+        builder.u8(AS_PATH, mark=structural)
+        builder.u8(2 + 2 * hops, mark=structural)
+        builder.u8(SEGMENT_AS_SEQUENCE, mark=True)
+        builder.u8(hops, mark=True)
+        for _ in range(hops):
+            builder.u16(self.rng.choice(self.asn_pool), mark=True)
+        # NEXT_HOP
+        builder.u8(0x40, mark=structural)
+        builder.u8(NEXT_HOP, mark=structural)
+        builder.u8(4, mark=structural)
+        builder.u32(self.rng.choice(self.next_hop_pool), mark=True)
+        # Optional attributes, each with independent probability.
+        if self.rng.random() < 0.5:
+            builder.u8(0x80, mark=structural)
+            builder.u8(MULTI_EXIT_DISC, mark=structural)
+            builder.u8(4, mark=structural)
+            builder.u32(self.rng.randint(0, 500), mark=True)
+            parts.append("med")
+        if self.rng.random() < 0.3:
+            builder.u8(0x40, mark=structural)
+            builder.u8(LOCAL_PREF, mark=structural)
+            builder.u8(4, mark=structural)
+            builder.u32(self.rng.choice((50, 100, 150, 200)), mark=True)
+            parts.append("local_pref")
+        if self.rng.random() < 0.15:
+            builder.u8(0x40, mark=structural)
+            builder.u8(ATOMIC_AGGREGATE, mark=structural)
+            builder.u8(0, mark=structural)
+            parts.append("atomic_aggregate")
+        if self.rng.random() < 0.2:
+            builder.u8(0xC0, mark=structural)
+            builder.u8(AGGREGATOR, mark=structural)
+            builder.u8(6, mark=structural)
+            builder.u16(self.rng.choice(self.asn_pool), mark=True)
+            builder.u32(self.rng.choice(self.next_hop_pool), mark=True)
+            parts.append("aggregator")
+        if self.rng.random() < 0.4:
+            count = self.rng.randint(1, self.max_communities)
+            builder.u8(0xC0, mark=structural)
+            builder.u8(COMMUNITY, mark=structural)
+            builder.u8(4 * count, mark=structural)
+            for _ in range(count):
+                asn = self.rng.choice(self.asn_pool)
+                builder.u16(asn, mark=True)
+                builder.u16(self.rng.randint(0, 300), mark=True)
+            parts.append(f"communities x{count}")
+        return parts
+
+    # -- pool seeding --
+
+    @staticmethod
+    def for_router(router, rng: random.Random) -> "UpdateGrammar":
+        """Build a grammar seeded from a router's live state.
+
+        Mitigation (i) applied to input generation: prefixes come from
+        the node's current RIB, ASNs from its neighbor sessions, so
+        inputs are plausible *for the state the system is in now*.
+        """
+        prefixes = list(router.loc_rib.prefixes())
+        for rib in router.adj_rib_in.values():
+            prefixes.extend(rib.prefixes())
+        if not prefixes:
+            prefixes = [Prefix("10.0.0.0/8")]
+        asns = [session.peer_as for session in router.sessions.values()]
+        asns.append(router.config.local_as)
+        next_hops = [int(router.config.router_id)]
+        for session in router.sessions.values():
+            if session.peer_bgp_id is not None:
+                next_hops.append(int(session.peer_bgp_id))
+        return UpdateGrammar(
+            rng=rng,
+            prefix_pool=tuple(dict.fromkeys(prefixes)),
+            asn_pool=tuple(dict.fromkeys(asns)),
+            next_hop_pool=tuple(dict.fromkeys(next_hops)),
+        )

@@ -1,0 +1,42 @@
+"""Path-condition helpers shared by the engine and its tests."""
+
+from __future__ import annotations
+
+from repro.concolic.expr import Constraint
+
+Branch = tuple[Constraint, bool]
+
+
+def held_constraint(branch: Branch) -> Constraint:
+    """The constraint that actually held at this branch."""
+    constraint, taken = branch
+    return constraint if taken else constraint.negated()
+
+
+def held_path(branches: list[Branch]) -> list[Constraint]:
+    """The full conjunction the execution satisfied."""
+    return [held_constraint(branch) for branch in branches]
+
+
+def flip_at(branches: list[Branch], index: int) -> list[Constraint]:
+    """Constraints characterizing 'same path up to ``index``, then the
+    other arm' — the generational-search child query."""
+    if not 0 <= index < len(branches):
+        raise IndexError(f"flip index {index} outside path of {len(branches)}")
+    prefix = [held_constraint(branch) for branch in branches[:index]]
+    prefix.append(held_constraint(branches[index]).negated())
+    return prefix
+
+
+def signature(branches: list[Branch]) -> tuple[tuple[int, bool], ...]:
+    """Hashable identity of a path."""
+    return tuple((hash(constraint), taken) for constraint, taken in branches)
+
+
+def flip_signature(branches: list[Branch], index: int) -> tuple:
+    """Identity of a *flip attempt*, for deduplication across executions."""
+    prefix = tuple(
+        (hash(constraint), taken) for constraint, taken in branches[:index]
+    )
+    constraint, taken = branches[index]
+    return prefix + ((hash(constraint), not taken),)

@@ -1,0 +1,449 @@
+"""Constraint solver for recorded path conditions.
+
+The solver answers: *given the constraints C1..Cn (all of which must
+hold), find integer values for the symbolic variables within their
+domains* — or report failure.  It is built for the constraint shapes a
+protocol decoder produces:
+
+* single-byte tests (``b17 == 2``, ``b0 & 0x10 != 0``),
+* multi-byte big-endian combinations (``(b16 << 8) | b17 == 45``),
+* range checks (``length <= 32``), and
+* masked comparisons from prefix matching.
+
+Strategy, in order of escalation:
+
+1. **interval check** — conservative interval evaluation rejects some
+   unsatisfiable systems immediately;
+2. **hint-guided repair** — start from the previous concrete input (so
+   most constraints already hold), repeatedly pick a violated constraint
+   and *invert* it algebraically onto one of its variables.  Inversion
+   understands affine forms, shifts, masks and byte concatenations;
+3. **randomized search** — bounded random restarts over the variables of
+   still-violated constraints.
+
+Every model returned is verified against the full constraint set, so a
+non-``None`` result is always sound; ``None`` means "no model found
+within budget" (possibly unsat, possibly just hard).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.concolic.expr import BinOp, Const, Constraint, Expr, UnOp, Var
+
+_INF = float("inf")
+
+
+@dataclass
+class SolverStats:
+    """Counters for the EXP-SOLVER benchmark."""
+
+    queries: int = 0
+    sat: int = 0
+    unknown: int = 0
+    interval_rejections: int = 0
+    repair_rounds: int = 0
+    random_restarts: int = 0
+
+
+@dataclass
+class _Problem:
+    constraints: list[Constraint]
+    variables: dict[str, Var] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for constraint in self.constraints:
+            for var in constraint.variables():
+                self.variables.setdefault(var.name, var)
+
+
+def _interval(expr: Expr) -> tuple[float, float]:
+    """Conservative bounds for an expression over variable domains."""
+    if isinstance(expr, Const):
+        return (expr.value, expr.value)
+    if isinstance(expr, Var):
+        return (expr.lo, expr.hi)
+    if isinstance(expr, UnOp):
+        lo, hi = _interval(expr.operand)
+        if expr.op == "neg":
+            return (-hi, -lo)
+        return (-hi - 1, -lo - 1)  # ~x == -x - 1
+    assert isinstance(expr, BinOp)
+    a_lo, a_hi = _interval(expr.left)
+    b_lo, b_hi = _interval(expr.right)
+    op = expr.op
+    if op == "add":
+        return (a_lo + b_lo, a_hi + b_hi)
+    if op == "sub":
+        return (a_lo - b_hi, a_hi - b_lo)
+    if op == "mul":
+        corners = (a_lo * b_lo, a_lo * b_hi, a_hi * b_lo, a_hi * b_hi)
+        return (min(corners), max(corners))
+    if op == "shl":
+        if b_lo < 0 or b_hi > 64:
+            return (-_INF, _INF)
+        corners = (
+            a_lo * (1 << int(b_lo)),
+            a_lo * (1 << int(b_hi)),
+            a_hi * (1 << int(b_lo)),
+            a_hi * (1 << int(b_hi)),
+        )
+        return (min(corners), max(corners))
+    if op == "shr":
+        if a_lo >= 0 and b_lo >= 0 and b_hi <= 64:
+            return (a_lo >> int(min(b_hi, 64)), a_hi >> int(b_lo))
+        return (-_INF, _INF)
+    if op in ("and",):
+        if a_lo >= 0 and b_lo >= 0:
+            return (0, min(a_hi, b_hi))
+        return (-_INF, _INF)
+    if op in ("or", "xor"):
+        if a_lo >= 0 and b_lo >= 0:
+            bound = _next_pow2_minus1(int(max(a_hi, b_hi)))
+            if op == "or":
+                return (max(a_lo, b_lo), _combine_or_bound(int(a_hi), int(b_hi)))
+            return (0, bound if a_hi == 0 or b_hi == 0 else
+                    _combine_or_bound(int(a_hi), int(b_hi)))
+        return (-_INF, _INF)
+    return (-_INF, _INF)
+
+
+def _next_pow2_minus1(value: int) -> int:
+    if value <= 0:
+        return 0
+    return (1 << value.bit_length()) - 1
+
+
+def _combine_or_bound(a_hi: int, b_hi: int) -> int:
+    return _next_pow2_minus1(a_hi | b_hi)
+
+
+def _interval_feasible(constraint: Constraint) -> bool:
+    """False only when intervals *prove* the constraint cannot hold."""
+    a_lo, a_hi = _interval(constraint.left)
+    b_lo, b_hi = _interval(constraint.right)
+    op = constraint.op
+    if op == "eq":
+        return not (a_hi < b_lo or a_lo > b_hi)
+    if op == "ne":
+        return not (a_lo == a_hi == b_lo == b_hi)
+    if op == "lt":
+        return a_lo < b_hi
+    if op == "le":
+        return a_lo <= b_hi
+    if op == "gt":
+        return a_hi > b_lo
+    return a_hi >= b_lo
+
+
+# -- byte-concatenation recognition ------------------------------------------
+
+
+def _concat_terms(expr: Expr) -> list[tuple[Var, int]] | None:
+    """Recognize ``(v0 << s0) | (v1 << s1) | ... | vk`` patterns.
+
+    Returns [(var, shift)] with strictly decreasing, disjoint shifts, or
+    None when the expression is not a clean concatenation.  ``add`` is
+    accepted in place of ``or`` (decoders use both).
+    """
+    terms: list[tuple[Var, int]] = []
+
+    def walk(node: Expr) -> bool:
+        if isinstance(node, BinOp) and node.op in ("or", "add"):
+            return walk(node.left) and walk(node.right)
+        if isinstance(node, BinOp) and node.op == "shl":
+            if isinstance(node.left, Var) and isinstance(node.right, Const):
+                terms.append((node.left, node.right.value))
+                return True
+            return False
+        if isinstance(node, Var):
+            terms.append((node, 0))
+            return True
+        return False
+
+    if not walk(expr):
+        return None
+    terms.sort(key=lambda item: -item[1])
+    # Shifts must be multiples of 8, disjoint for byte-domain variables,
+    # and each variable must appear once.
+    seen_names = set()
+    for index, (var, shift) in enumerate(terms):
+        if shift % 8 != 0 or var.hi > 255 or var.lo < 0:
+            return None
+        if var.name in seen_names:
+            return None
+        seen_names.add(var.name)
+        if index > 0 and terms[index - 1][1] - shift != 8:
+            return None
+    return terms
+
+
+def _decompose_concat(
+    terms: list[tuple[Var, int]], value: int
+) -> dict[str, int] | None:
+    """Split ``value`` into per-variable bytes; None when out of domain."""
+    assignment = {}
+    total_bits = terms[0][1] + 8
+    if value < 0 or value >= (1 << total_bits):
+        return None
+    for var, shift in terms:
+        byte = (value >> shift) & 0xFF
+        if not var.lo <= byte <= var.hi:
+            return None
+        assignment[var.name] = byte
+    return assignment
+
+
+class Solver:
+    """See module docstring."""
+
+    def __init__(self, seed: int = 0, max_repair_rounds: int = 200,
+                 max_restarts: int = 40):
+        self._rng = random.Random(seed)
+        self._max_repair_rounds = max_repair_rounds
+        self._max_restarts = max_restarts
+        self.stats = SolverStats()
+
+    # -- public API --
+
+    def solve(
+        self,
+        constraints: list[Constraint],
+        hint: dict[str, int] | None = None,
+    ) -> dict[str, int] | None:
+        """Find a verified model, starting near ``hint`` when given."""
+        self.stats.queries += 1
+        problem = _Problem(list(constraints))
+        for constraint in problem.constraints:
+            if not _interval_feasible(constraint):
+                self.stats.interval_rejections += 1
+                self.stats.unknown += 1
+                return None
+        assignment = self._initial_assignment(problem, hint)
+        model = self._repair(problem, assignment)
+        if model is None:
+            model = self._random_search(problem, hint)
+        if model is None:
+            self.stats.unknown += 1
+            return None
+        self.stats.sat += 1
+        return model
+
+    # -- internals --
+
+    def _initial_assignment(
+        self, problem: _Problem, hint: dict[str, int] | None
+    ) -> dict[str, int]:
+        assignment = {}
+        for name, var in problem.variables.items():
+            if hint is not None and name in hint and var.lo <= hint[name] <= var.hi:
+                assignment[name] = hint[name]
+            else:
+                assignment[name] = var.lo
+        return assignment
+
+    def _violated(
+        self, problem: _Problem, assignment: dict[str, int]
+    ) -> Constraint | None:
+        for constraint in problem.constraints:
+            if not constraint.holds(assignment):
+                return constraint
+        return None
+
+    def _repair(
+        self, problem: _Problem, assignment: dict[str, int]
+    ) -> dict[str, int] | None:
+        assignment = dict(assignment)
+        recently_fixed: list[Constraint] = []
+        for _ in range(self._max_repair_rounds):
+            violated = self._violated(problem, assignment)
+            if violated is None:
+                return assignment
+            self.stats.repair_rounds += 1
+            # Cycle guard: if the same constraint keeps reappearing,
+            # shake a random variable it mentions.
+            if recently_fixed.count(violated) >= 3:
+                self._shake(problem, violated, assignment)
+                recently_fixed.clear()
+                continue
+            recently_fixed.append(violated)
+            if len(recently_fixed) > 8:
+                recently_fixed.pop(0)
+            if not self._fix_constraint(violated, assignment):
+                self._shake(problem, violated, assignment)
+        return None
+
+    def _shake(self, problem: _Problem, constraint: Constraint,
+               assignment: dict[str, int]) -> None:
+        variables = list({var.name: var for var in constraint.variables()}.values())
+        if not variables:
+            return
+        var = self._rng.choice(variables)
+        assignment[var.name] = self._rng.randint(var.lo, var.hi)
+
+    def _fix_constraint(
+        self, constraint: Constraint, assignment: dict[str, int]
+    ) -> bool:
+        """Try to make ``constraint`` hold by inverting onto one side."""
+        left_vars = list(constraint.left.variables())
+        right_vars = list(constraint.right.variables())
+        # Prefer inverting the side with variables against the concrete
+        # value of the other side.
+        attempts = []
+        if left_vars:
+            target = constraint.right.evaluate(assignment)
+            attempts.append((constraint.left, constraint.op, target))
+        if right_vars:
+            target = constraint.left.evaluate(assignment)
+            attempts.append(
+                (constraint.right, _swap_op(constraint.op), target)
+            )
+        self._rng.shuffle(attempts)
+        for expr, op, target in attempts:
+            if self._invert(expr, op, int(target), assignment):
+                if constraint.holds(assignment):
+                    return True
+        return False
+
+    def _invert(self, expr: Expr, op: str, target: int,
+                assignment: dict[str, int]) -> bool:
+        """Adjust variables inside ``expr`` so that ``expr op target``."""
+        desired = self._desired_value(expr, op, target, assignment)
+        if desired is None:
+            return False
+        return self._force_value(expr, desired, assignment)
+
+    def _desired_value(self, expr: Expr, op: str, target: int,
+                       assignment: dict[str, int]) -> int | None:
+        """Pick a concrete value for ``expr`` satisfying ``op target``."""
+        lo, hi = _interval(expr)
+        if op == "eq":
+            value = target
+        elif op == "ne":
+            current = expr.evaluate(assignment)
+            if current != target:
+                return current
+            value = target + 1 if target + 1 <= hi else target - 1
+        elif op == "lt":
+            value = target - 1
+        elif op == "le":
+            value = target
+        elif op == "gt":
+            value = target + 1
+        else:  # ge
+            value = target
+        if lo != -_INF and value < lo:
+            if op in ("gt", "ge", "ne"):
+                value = int(lo)
+            else:
+                return None
+        if hi != _INF and value > hi:
+            if op in ("lt", "le", "ne"):
+                value = int(hi)
+            else:
+                return None
+        return int(value)
+
+    def _force_value(self, expr: Expr, value: int,
+                     assignment: dict[str, int]) -> bool:
+        """Make ``expr`` evaluate to exactly ``value`` (best effort).
+
+        Handles: Var, affine wrappers (add/sub with constant), shifts by
+        constants, masks, and byte concatenations.  Returns False when
+        the shape is not invertible; the caller falls back to shaking.
+        """
+        if isinstance(expr, Var):
+            if expr.lo <= value <= expr.hi:
+                assignment[expr.name] = value
+                return True
+            return False
+        if isinstance(expr, Const):
+            return expr.value == value
+        if isinstance(expr, UnOp):
+            if expr.op == "neg":
+                return self._force_value(expr.operand, -value, assignment)
+            return self._force_value(expr.operand, ~value, assignment)
+        assert isinstance(expr, BinOp)
+        concat = _concat_terms(expr)
+        if concat is not None:
+            decomposed = _decompose_concat(concat, value)
+            if decomposed is None:
+                return False
+            assignment.update(decomposed)
+            return True
+        left, right, op = expr.left, expr.right, expr.op
+        left_const = isinstance(left, Const)
+        right_const = isinstance(right, Const)
+        if op == "add":
+            if right_const:
+                return self._force_value(left, value - right.value, assignment)
+            if left_const:
+                return self._force_value(right, value - left.value, assignment)
+            # Split between sides: keep the right side at its current
+            # value, push the remainder to the left.
+            current_right = right.evaluate(assignment)
+            return self._force_value(left, value - current_right, assignment)
+        if op == "sub":
+            if right_const:
+                return self._force_value(left, value + right.value, assignment)
+            if left_const:
+                return self._force_value(right, left.value - value, assignment)
+            current_right = right.evaluate(assignment)
+            return self._force_value(left, value + current_right, assignment)
+        if op == "mul":
+            if right_const and right.value != 0 and value % right.value == 0:
+                return self._force_value(left, value // right.value, assignment)
+            if left_const and left.value != 0 and value % left.value == 0:
+                return self._force_value(right, value // left.value, assignment)
+            return False
+        if op == "shl" and right_const:
+            shift = right.value
+            if value % (1 << shift) == 0:
+                return self._force_value(left, value >> shift, assignment)
+            return False
+        if op == "shr" and right_const:
+            shift = right.value
+            return self._force_value(left, value << shift, assignment)
+        if op == "and" and (right_const or left_const):
+            mask = right.value if right_const else left.value
+            operand = left if right_const else right
+            if value & ~mask:
+                return False  # impossible: bits outside the mask
+            current = operand.evaluate(assignment)
+            merged = (current & ~mask) | value
+            return self._force_value(operand, merged, assignment)
+        if op == "or" and (right_const or left_const):
+            fixed = right.value if right_const else left.value
+            operand = left if right_const else right
+            if (value & fixed) != fixed:
+                return False  # fixed bits cannot be cleared
+            return self._force_value(operand, value & ~fixed, assignment)
+        if op == "xor" and (right_const or left_const):
+            fixed = right.value if right_const else left.value
+            operand = left if right_const else right
+            return self._force_value(operand, value ^ fixed, assignment)
+        return False
+
+    def _random_search(
+        self, problem: _Problem, hint: dict[str, int] | None
+    ) -> dict[str, int] | None:
+        for _ in range(self._max_restarts):
+            self.stats.random_restarts += 1
+            assignment = {}
+            for name, var in problem.variables.items():
+                choices = [var.lo, var.hi, self._rng.randint(var.lo, var.hi)]
+                if hint is not None and name in hint:
+                    choices.append(max(var.lo, min(var.hi, hint[name])))
+                assignment[name] = self._rng.choice(choices)
+            model = self._repair(problem, assignment)
+            if model is not None:
+                return model
+        return None
+
+
+def _swap_op(op: str) -> str:
+    """Mirror a comparison when swapping its sides."""
+    return {"eq": "eq", "ne": "ne", "lt": "gt", "gt": "lt",
+            "le": "ge", "ge": "le"}[op]

@@ -1,0 +1,431 @@
+"""Per-node exploration over cloned snapshots (Figure 2, steps 3-5).
+
+One :class:`Explorer` owns one snapshot and one explorer node.  For every
+exploration input it:
+
+1. clones the snapshot into a fresh, isolated network;
+2. injects the input into the node's update handler, impersonating an
+   established peer (the node "autonomously exercises its local
+   actions");
+3. runs the clone for a horizon so consequences propagate system-wide;
+4. evaluates the property suite over the clone, reaching remote domains
+   only through the sharing interface.
+
+Input generation implements all three of the paper's path-explosion
+mitigations: exploration starts from current state (the snapshot), it
+targets the state-changing UPDATE handler, and inputs are small,
+grammar-generated messages refined by concolic feedback.
+
+The explorer also implements the paper's route-selection exploration:
+"We treat as symbolic the condition that describes whether a route is
+the locally most preferred one" — see :meth:`Explorer.explore_selection`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.bgp.errors import BGPError
+from repro.bgp.messages import decode_message
+from repro.concolic.engine import ConcolicEngine, RandomByteExplorer
+from repro.concolic.grammar import UpdateGrammar
+from repro.concolic.solver import Solver
+from repro.concolic.symbolic import SymBytes, SymInt
+from repro.core.live import bgp_process_factory
+from repro.core.properties import CheckContext, PropertySuite, Violation
+from repro.core.sharing import SharingRegistry
+from repro.core.snapshot import Snapshot
+from repro.util.rng import derive_seed
+
+STRATEGY_CONCOLIC = "concolic"
+STRATEGY_RANDOM = "random"
+STRATEGY_GRAMMAR = "grammar"
+
+ALL_STRATEGIES = (STRATEGY_CONCOLIC, STRATEGY_RANDOM, STRATEGY_GRAMMAR)
+
+
+@dataclass
+class ExplorationConfig:
+    """Parameters for one node-exploration session."""
+
+    node: str
+    inputs: int = 30
+    strategy: str = STRATEGY_CONCOLIC
+    horizon: float = 5.0
+    grammar_seeds: int = 3
+    seed: int = 0
+    peer: str | None = None
+    max_branches_per_run: int = 20_000
+
+    def __post_init__(self):
+        if self.strategy not in ALL_STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+
+
+@dataclass
+class NodeExplorationReport:
+    """Aggregate outcome of exploring one node over one snapshot."""
+
+    node: str
+    strategy: str
+    snapshot_id: str
+    executions: int = 0
+    unique_paths: int = 0
+    branch_coverage: int = 0
+    shape_coverage: int = 0
+    clones_created: int = 0
+    violations: list[tuple[Violation, str]] = field(default_factory=list)
+    crashes: int = 0
+    wall_time_s: float = 0.0
+    skipped_reason: str | None = None
+
+    @property
+    def found_fault(self) -> bool:
+        """True when any property was violated."""
+        return bool(self.violations)
+
+
+@dataclass
+class SelectionReport:
+    """Outcome of route-selection exploration at one node."""
+
+    node: str
+    prefix: str = ""
+    candidates: int = 0
+    executions: int = 0
+    distinct_outcomes: int = 0
+    outcomes: list[str] = field(default_factory=list)
+    skipped_reason: str | None = None
+
+
+def summarize_input(data: bytes) -> str:
+    """A short human-readable rendering of one exploration input."""
+    try:
+        message = decode_message(data)
+    except BGPError as error:
+        return f"malformed[{type(error).__name__}/{error.subcode}] {len(data)}B"
+    except Exception as exc:  # noqa: BLE001 - summary must never fail
+        return f"undecodable[{type(exc).__name__}] {len(data)}B"
+    text = repr(message)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+class Explorer:
+    """Explores one node's behaviour over clones of one snapshot."""
+
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        suite: PropertySuite,
+        claims: SharingRegistry,
+        process_factory=bgp_process_factory,
+    ):
+        self._snapshot = snapshot
+        self._suite = suite
+        self._claims = claims
+        self._factory = process_factory
+        self._clone_counter = 0
+
+    # -- clone plumbing --
+
+    def _new_clone(self, seed: int):
+        self._clone_counter += 1
+        return self._snapshot.clone(
+            self._factory,
+            seed=derive_seed(seed, f"clone/{self._clone_counter}"),
+        )
+
+    def _sharing_for(self, clone) -> SharingRegistry:
+        """A per-clone registry: shared claims, endpoints over the clone."""
+        from repro.checks.consistency import attach_consistency_checks
+        from repro.checks.hijack import build_sharing_endpoints
+
+        registry = SharingRegistry()
+        for prefix in self._claims.all_claimed_prefixes():
+            for owner in self._claims.claimed_origins(prefix):
+                registry.claim_origin(owner, prefix)
+        build_sharing_endpoints(clone, registry)
+        attach_consistency_checks(clone, registry)
+        return registry
+
+    # -- message exploration (Figure 2) --
+
+    def explore(self, config: ExplorationConfig) -> NodeExplorationReport:
+        """Run one exploration session; see module docstring."""
+        started = time.perf_counter()
+        report = NodeExplorationReport(
+            node=config.node,
+            strategy=config.strategy,
+            snapshot_id=self._snapshot.snapshot_id,
+        )
+        peer = self._pick_peer(config)
+        if peer is None:
+            report.skipped_reason = (
+                f"{config.node} has no established session in the snapshot"
+            )
+            report.wall_time_s = time.perf_counter() - started
+            return report
+        # Null probe: one clone with *no* injected input, observing the
+        # system's natural evolution from the snapshot.  Behavioural
+        # deviations that need no trigger (an oscillation already in
+        # flight, a crash loop) are caught here deterministically,
+        # independent of what the generated inputs happen to perturb.
+        self._null_probe(config, report)
+        rng = random.Random(derive_seed(config.seed, f"grammar/{config.node}"))
+        grammar = self._grammar_for_node(config, rng)
+        seeds = [
+            generated.symbolic(prefix="u")
+            for generated in grammar.generate_many(
+                max(1, config.grammar_seeds)
+            )
+        ]
+        program = self._make_program(config, peer, report)
+        if config.strategy == STRATEGY_CONCOLIC:
+            engine = ConcolicEngine(
+                program,
+                solver=Solver(seed=derive_seed(config.seed, "solver")),
+                max_executions=config.inputs,
+                max_branches_per_run=config.max_branches_per_run,
+            )
+            result = engine.explore(seeds)
+        elif config.strategy == STRATEGY_RANDOM:
+            explorer = RandomByteExplorer(
+                program,
+                seed=derive_seed(config.seed, "random"),
+                max_executions=config.inputs,
+                max_branches_per_run=config.max_branches_per_run,
+            )
+            result = explorer.explore(seeds)
+        else:  # grammar-only: fresh valid messages, no feedback
+            engine = ConcolicEngine(
+                program,
+                max_executions=config.inputs,
+                max_branches_per_run=config.max_branches_per_run,
+            )
+            result = self._grammar_only(engine, grammar, config.inputs)
+        report.executions = result.executions
+        report.unique_paths = result.unique_paths
+        report.branch_coverage = result.branch_coverage
+        report.shape_coverage = result.shape_coverage
+        report.crashes = len(result.crashes)
+        report.clones_created = self._clone_counter
+        report.wall_time_s = time.perf_counter() - started
+        return report
+
+    def vet_change(
+        self,
+        node: str,
+        change,
+        horizon: float = 5.0,
+        seed: int = 0,
+    ) -> list[tuple[Violation, str]]:
+        """What-if analysis of a *pending* configuration change.
+
+        The proactive mode the paper's vision section describes: before
+        an operator commits a change, DiCE applies it to a clone of the
+        current system state, lets the consequences propagate, and
+        evaluates the property suite.  The live system never sees the
+        change unless it comes back clean.
+
+        Returns (violation, description) pairs; empty means the change
+        vetted clean against the current snapshot.
+        """
+        clone = self._new_clone(seed)
+        sharing = self._sharing_for(clone)
+        summary = f"(pending config change: {change.describe()})"
+        context = CheckContext(
+            clone=clone,
+            node=node,
+            sharing=sharing,
+            input_summary=summary,
+        )
+        self._suite.prepare_all(context)
+        clone.processes[node].apply_config_change(change)
+        # The hijack check evaluates pre-injection state by design; the
+        # change itself *is* the state mutation here, so re-prime it.
+        for prop in self._suite:
+            if prop.scope == "federated":
+                prop.prepare(context)
+        clone.run(until=clone.sim.now + horizon)
+        return [
+            (violation, summary)
+            for violation in self._suite.check_all(context)
+        ]
+
+    def _null_probe(self, config: ExplorationConfig,
+                    report: NodeExplorationReport) -> None:
+        clone = self._new_clone(config.seed)
+        sharing = self._sharing_for(clone)
+        context = CheckContext(
+            clone=clone,
+            node=config.node,
+            sharing=sharing,
+            input_summary="(no input: natural evolution)",
+        )
+        self._suite.prepare_all(context)
+        clone.run(until=clone.sim.now + config.horizon)
+        for violation in self._suite.check_all(context):
+            report.violations.append((violation, context.input_summary))
+
+    def _grammar_only(self, engine: ConcolicEngine, grammar: UpdateGrammar,
+                      budget: int):
+        from repro.concolic.engine import ExplorationResult
+
+        from repro.concolic.expr import shape_hash
+
+        result = ExplorationResult()
+        seen_paths = set()
+        seen_constraints = set()
+        seen_shapes = set()
+        for index in range(budget):
+            generated = grammar.generate()
+            execution = engine.run_once(generated.symbolic(prefix="u"))
+            result.executions += 1
+            for constraint, _ in execution.branches:
+                seen_constraints.add(hash(constraint))
+                seen_shapes.add(shape_hash(constraint))
+            signature = execution.signature
+            if signature not in seen_paths:
+                seen_paths.add(signature)
+                result.unique_paths += 1
+            result.progress.append((result.executions, result.unique_paths))
+            if execution.crashed:
+                result.crashes.append(execution)
+        result.branch_coverage = len(seen_constraints)
+        result.shape_coverage = len(seen_shapes)
+        return result
+
+    def _grammar_for_node(self, config: ExplorationConfig,
+                          rng: random.Random) -> UpdateGrammar:
+        probe = self._new_clone(config.seed)
+        router = probe.processes[config.node]
+        return UpdateGrammar.for_router(router, rng)
+
+    def _pick_peer(self, config: ExplorationConfig) -> str | None:
+        probe = self._new_clone(config.seed)
+        router = probe.processes[config.node]
+        if config.peer is not None:
+            session = router.sessions.get(config.peer)
+            if session is not None and session.is_established():
+                return config.peer
+            return None
+        established = router.established_peers()
+        return established[0] if established else None
+
+    def _make_program(self, config: ExplorationConfig, peer: str,
+                      report: NodeExplorationReport):
+        def program(sym_input: SymBytes):
+            clone = self._new_clone(config.seed)
+            router = clone.processes[config.node]
+            sharing = self._sharing_for(clone)
+            summary = summarize_input(sym_input.concrete)
+            context = CheckContext(
+                clone=clone,
+                node=config.node,
+                sharing=sharing,
+                input_summary=summary,
+                peer=peer,
+            )
+            self._suite.prepare_all(context)
+            escaped: Exception | None = None
+            try:
+                router.handle_raw(peer, sym_input)
+            except Exception as exc:  # noqa: BLE001 - escaped = harness data
+                escaped = exc
+            clone.run(until=clone.sim.now + config.horizon)
+            context.exploration_exception = escaped
+            violations = self._suite.check_all(context)
+            for violation in violations:
+                report.violations.append((violation, summary))
+            if escaped is not None:
+                raise escaped
+            return len(violations)
+
+        return program
+
+    # -- route-selection exploration --
+
+    def explore_selection(
+        self,
+        node: str,
+        max_executions: int = 40,
+        seed: int = 0,
+        prefix=None,
+    ) -> SelectionReport:
+        """Systematically explore decision-process outcomes at ``node``.
+
+        Plants a symbolic LOCAL_PREF shadow on every candidate route for
+        one multi-candidate prefix, then lets the concolic engine negate
+        the comparison branches inside :func:`repro.bgp.decision.
+        compare_routes` — each satisfying assignment drives selection to
+        a different outcome.
+        """
+        report = SelectionReport(node=node)
+        probe = self._new_clone(seed)
+        router = probe.processes[node]
+        target = prefix if prefix is not None else self._multi_candidate_prefix(router)
+        if target is None:
+            report.skipped_reason = f"{node} has no multi-candidate prefix"
+            return report
+        candidate_peers = sorted(
+            peer
+            for peer, rib in router.adj_rib_in.items()
+            if rib.get(target) is not None
+        )
+        report.prefix = str(target)
+        report.candidates = len(candidate_peers)
+        outcomes: list[str] = []
+
+        def program(sym_input: SymBytes):
+            clone = self._new_clone(seed)
+            clone_router = clone.processes[node]
+            for index, peer in enumerate(candidate_peers):
+                route = clone_router.adj_rib_in[peer].get(target)
+                if route is None:
+                    continue
+                base = 4 * index
+                shadow = (
+                    (sym_input[base] << 24)
+                    | (sym_input[base + 1] << 16)
+                    | (sym_input[base + 2] << 8)
+                    | sym_input[base + 3]
+                )
+                if not isinstance(shadow, SymInt):
+                    continue
+                route.sym["local_pref"] = shadow
+            clone_router.rerun_decision([target])
+            best = clone_router.loc_rib.get(target)
+            winner = "none" if best is None else (best.peer or "local")
+            outcomes.append(winner)
+            return winner
+
+        initial = bytearray()
+        for peer in candidate_peers:
+            route = router.adj_rib_in[peer].get(target)
+            lp = route.attributes.local_pref
+            value = int(lp) if lp is not None else 100
+            initial.extend(value.to_bytes(4, "big"))
+        seed_input = SymBytes.mark_all(bytes(initial), prefix="lp")
+        engine = ConcolicEngine(
+            program,
+            solver=Solver(seed=derive_seed(seed, "selection-solver")),
+            max_executions=max_executions,
+        )
+        result = engine.explore([seed_input])
+        report.executions = result.executions
+        report.outcomes = sorted(set(outcomes))
+        report.distinct_outcomes = len(report.outcomes)
+        return report
+
+    @staticmethod
+    def _multi_candidate_prefix(router):
+        counts: dict = {}
+        for rib in router.adj_rib_in.values():
+            for route in rib.routes():
+                counts[route.prefix] = counts.get(route.prefix, 0) + 1
+        for prefix in sorted(counts):
+            if counts[prefix] >= 2:
+                return prefix
+        return None

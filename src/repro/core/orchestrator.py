@@ -1,0 +1,227 @@
+"""The DiCE orchestrator: the full Figure 2 loop.
+
+A campaign repeats cycles of:
+
+1. **choose explorer and trigger snapshot creation** — explorer nodes are
+   taken round-robin (or as configured), and the snapshot coordinator
+   runs the marker protocol from that node;
+2. **establish consistent shadow snapshot** — the captured cut;
+3-5. **explore input k over cloned snapshot k** — the per-node
+   :class:`~repro.core.explorer.Explorer` does grammar + concolic input
+   generation, one clone per input, property checks per clone.
+
+Violations become :class:`~repro.core.faultclass.FaultReport` objects
+stamped with wall-clock time since campaign start — the EXP-FAULTS
+time-to-detection measurements fall straight out of a campaign run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.explorer import (
+    ExplorationConfig,
+    Explorer,
+    NodeExplorationReport,
+    STRATEGY_CONCOLIC,
+)
+from repro.core.faultclass import FaultReport, first_per_class
+from repro.core.live import LiveSystem, bgp_process_factory
+from repro.core.properties import PropertySuite
+from repro.core.sharing import SharingRegistry
+from repro.util.rng import derive_seed
+
+
+@dataclass
+class OrchestratorConfig:
+    """Campaign-level knobs."""
+
+    inputs_per_node: int = 30
+    horizon: float = 5.0
+    strategy: str = STRATEGY_CONCOLIC
+    explorer_nodes: list[str] | None = None  # None = all, sorted
+    cycles: int = 1
+    snapshot_mode: str = "marker"  # "marker" | "atomic"
+    stop_after_first_fault: bool = False
+    grammar_seeds: int = 3
+    seed: int = 0
+    # Simulated seconds the *live* system advances between node
+    # explorations, so DiCE observably runs alongside a moving system.
+    live_advance: float = 0.5
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    reports: list[FaultReport] = field(default_factory=list)
+    node_reports: list[NodeExplorationReport] = field(default_factory=list)
+    snapshots_taken: int = 0
+    clones_created: int = 0
+    inputs_explored: int = 0
+    cycles_completed: int = 0
+    wall_time_s: float = 0.0
+
+    def time_to_detection(self) -> dict[str, float]:
+        """Wall-clock seconds to the first report of each fault class."""
+        return {
+            fault_class: report.wall_time_s
+            for fault_class, report in first_per_class(self.reports).items()
+        }
+
+    def inputs_to_detection(self) -> dict[str, int]:
+        """Inputs explored before the first report of each fault class."""
+        return {
+            fault_class: report.inputs_explored
+            for fault_class, report in first_per_class(self.reports).items()
+        }
+
+    def fault_classes_found(self) -> list[str]:
+        """Distinct fault classes among the reports."""
+        return sorted({report.fault_class for report in self.reports})
+
+
+class DiceOrchestrator:
+    """Drives campaigns over one live system."""
+
+    def __init__(
+        self,
+        live: LiveSystem,
+        suite: PropertySuite,
+        claims: SharingRegistry | None = None,
+        process_factory=bgp_process_factory,
+    ):
+        self._live = live
+        self._suite = suite
+        self._claims = (
+            claims
+            if claims is not None
+            else SharingRegistry.from_configs(live.initial_configs)
+        )
+        self._factory = process_factory
+
+    @property
+    def claims(self) -> SharingRegistry:
+        """The origination-claim registry campaigns check against."""
+        return self._claims
+
+    def vet_change(
+        self,
+        node: str,
+        change,
+        horizon: float = 5.0,
+        seed: int = 0,
+        snapshot_mode: str = "marker",
+    ) -> list[FaultReport]:
+        """Pre-deployment what-if analysis of a configuration change.
+
+        Snapshots the live system, applies ``change`` at ``node`` inside
+        an isolated clone, propagates for ``horizon`` simulated seconds
+        and evaluates the property suite.  The live system is untouched;
+        an empty result means the change vetted clean against current
+        state.
+        """
+        started = time.perf_counter()
+        if snapshot_mode == "atomic":
+            snapshot = self._live.coordinator.capture_atomic(node)
+        else:
+            snapshot = self._live.coordinator.capture(node)
+        explorer = Explorer(
+            snapshot, self._suite, self._claims, process_factory=self._factory
+        )
+        reports = []
+        for violation, summary in explorer.vet_change(
+            node, change, horizon=horizon, seed=seed
+        ):
+            reports.append(
+                FaultReport(
+                    fault_class=violation.fault_class,
+                    property_name=violation.property_name,
+                    node=violation.node,
+                    detected_at=self._live.network.sim.now,
+                    wall_time_s=time.perf_counter() - started,
+                    input_summary=summary,
+                    evidence=violation.evidence,
+                    snapshot_id=snapshot.snapshot_id,
+                    inputs_explored=1,
+                )
+            )
+        return reports
+
+    def run_campaign(self, config: OrchestratorConfig) -> CampaignResult:
+        """Run the configured number of cycles; see module docstring."""
+        started = time.perf_counter()
+        result = CampaignResult()
+        nodes = (
+            list(config.explorer_nodes)
+            if config.explorer_nodes is not None
+            else sorted(self._live.network.processes)
+        )
+        if not nodes:
+            raise ValueError("no explorer nodes")
+        done = False
+        for cycle in range(config.cycles):
+            for node in nodes:
+                self._explore_node(config, cycle, node, started, result)
+                if config.stop_after_first_fault and result.reports:
+                    done = True
+                    break
+                # Let the live system move on (background churn, timers)
+                # so the next snapshot captures genuinely newer state.
+                if config.live_advance > 0:
+                    self._live.run(
+                        until=self._live.network.sim.now + config.live_advance
+                    )
+            if done:
+                break
+            result.cycles_completed = cycle + 1
+        result.wall_time_s = time.perf_counter() - started
+        return result
+
+    def _explore_node(
+        self,
+        config: OrchestratorConfig,
+        cycle: int,
+        node: str,
+        started: float,
+        result: CampaignResult,
+    ) -> None:
+        # Steps 1-2: choose explorer, establish the consistent snapshot.
+        if config.snapshot_mode == "atomic":
+            snapshot = self._live.coordinator.capture_atomic(node)
+        else:
+            snapshot = self._live.coordinator.capture(node)
+        result.snapshots_taken += 1
+        # Steps 3-5: explore inputs over clones.
+        explorer = Explorer(
+            snapshot, self._suite, self._claims, process_factory=self._factory
+        )
+        node_report = explorer.explore(
+            ExplorationConfig(
+                node=node,
+                inputs=config.inputs_per_node,
+                strategy=config.strategy,
+                horizon=config.horizon,
+                grammar_seeds=config.grammar_seeds,
+                seed=derive_seed(config.seed, f"cycle{cycle}/{node}"),
+            )
+        )
+        result.node_reports.append(node_report)
+        result.clones_created += node_report.clones_created
+        inputs_before = result.inputs_explored
+        result.inputs_explored += node_report.executions
+        for violation, input_summary in node_report.violations:
+            result.reports.append(
+                FaultReport(
+                    fault_class=violation.fault_class,
+                    property_name=violation.property_name,
+                    node=violation.node,
+                    detected_at=self._live.network.sim.now,
+                    wall_time_s=time.perf_counter() - started,
+                    input_summary=input_summary,
+                    evidence=violation.evidence,
+                    snapshot_id=snapshot.snapshot_id,
+                    inputs_explored=inputs_before + node_report.executions,
+                )
+            )

@@ -1,0 +1,217 @@
+"""The network container: processes + links + the simulator.
+
+This is the "testbed" object the rest of the reproduction works against.
+It also implements the two hooks DiCE needs from its substrate:
+
+* **in-flight capture** — a consistent snapshot must include channel state,
+  so the network can enumerate messages currently scheduled for delivery
+  (:meth:`in_flight`);
+* **pause/clone support** — the orchestrator deep-copies exported node
+  states and in-flight messages into a *fresh* network, never sharing
+  mutable state with the live one (see :mod:`repro.core.snapshot`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.net.link import Link, LinkProfile
+from repro.net.node import Process
+from repro.net.sim import Event, Simulator
+from repro.net.trace import TraceRecorder
+
+
+class InFlightMessage:
+    """A message scheduled for delivery, tracked for snapshotting."""
+
+    __slots__ = ("src", "dst", "payload", "deliver_at", "event")
+
+    def __init__(self, src: str, dst: str, payload: Any, deliver_at: float,
+                 event: Event):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.deliver_at = deliver_at
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<in-flight {self.src}->{self.dst} @{self.deliver_at:.3f}>"
+
+
+class Network:
+    """A set of processes joined by links, driven by one simulator."""
+
+    def __init__(self, seed: int = 0, trace: TraceRecorder | None = None):
+        self.sim = Simulator(seed)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.processes: dict[str, Process] = {}
+        self._links: dict[frozenset[str], Link] = {}
+        self._in_flight: dict[int, InFlightMessage] = {}
+        self._in_flight_seq = 0
+        self._delivery_taps: list[Callable[[str, str, Any], None]] = []
+        self._interceptors: list[Callable[[str, str, Any], bool]] = []
+        self._started = False
+
+    # -- construction --------------------------------------------------------
+
+    def add_process(self, process: Process) -> Process:
+        """Add a process; names must be unique."""
+        if process.name in self.processes:
+            raise ValueError(f"duplicate process name {process.name!r}")
+        self.processes[process.name] = process
+        process.attach(self)
+        if self._started:
+            process.start()
+        return process
+
+    def add_link(self, a: str, b: str, profile: LinkProfile | None = None) -> Link:
+        """Connect processes ``a`` and ``b``; at most one link per pair."""
+        for name in (a, b):
+            if name not in self.processes:
+                raise KeyError(f"unknown process {name!r}")
+        key = frozenset((a, b))
+        if key in self._links:
+            raise ValueError(f"link {a}<->{b} already exists")
+        link = Link(a, b, profile)
+        self._links[key] = link
+        return link
+
+    def link_between(self, a: str, b: str) -> Link | None:
+        """The link joining ``a`` and ``b``, if any."""
+        return self._links.get(frozenset((a, b)))
+
+    def links(self) -> Iterable[Link]:
+        """All links."""
+        return self._links.values()
+
+    def neighbors(self, name: str) -> list[str]:
+        """Names of processes directly linked to ``name``, sorted."""
+        found = [
+            link.other(name)
+            for link in self._links.values()
+            if name in link.endpoints
+        ]
+        return sorted(found)
+
+    # -- running ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every process's ``start`` hook once."""
+        if self._started:
+            return
+        self._started = True
+        for name in sorted(self.processes):
+            self.processes[name].start()
+
+    def start_silently(self) -> None:
+        """Mark the network started without running ``start`` hooks.
+
+        Snapshot clones use this: restored state already reflects
+        everything the start hooks would have done (origination, session
+        establishment), so running them again would corrupt the clone.
+        """
+        self._started = True
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> float:
+        """Start if needed, then drive the simulator."""
+        self.start()
+        return self.sim.run(until=until, max_events=max_events)
+
+    # -- message transport -------------------------------------------------------
+
+    def transmit(self, src: str, dst: str, payload: Any,
+                 reliable: bool = False) -> bool:
+        """Send ``payload`` from ``src`` to ``dst``; returns False if dropped.
+
+        Requires a link between the two processes.  Loss and delay are
+        drawn from the link profile using the network's seeded RNG.
+        ``reliable`` skips the loss draw while preserving latency and
+        FIFO order — used for control traffic like snapshot markers,
+        which in a real deployment rides a reliable transport.
+        """
+        link = self.link_between(src, dst)
+        if link is None:
+            raise KeyError(f"no link between {src!r} and {dst!r}")
+        rng = self.sim.random.stream(f"link/{min(src, dst)}/{max(src, dst)}")
+        delay = link.delay_for(src, dst, payload, self.sim.now, rng,
+                               reliable=reliable)
+        if delay is None:
+            self.trace.record(self.sim.now, "drop", src, dst=dst)
+            return False
+        self.trace.record(self.sim.now, "send", src, dst=dst,
+                          msg=type(payload).__name__)
+        self._schedule_delivery(src, dst, payload, delay)
+        return True
+
+    def _schedule_delivery(self, src: str, dst: str, payload: Any,
+                           delay: float) -> None:
+        token = self._in_flight_seq
+        self._in_flight_seq += 1
+
+        def deliver() -> None:
+            self._in_flight.pop(token, None)
+            self._deliver(src, dst, payload)
+
+        event = self.sim.schedule(delay, deliver, label=f"deliver:{src}->{dst}")
+        self._in_flight[token] = InFlightMessage(
+            src, dst, payload, self.sim.now + delay, event
+        )
+
+    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+        process = self.processes.get(dst)
+        if process is None:
+            return
+        # Iterate a copy: an interceptor may unregister itself mid-delivery
+        # (the snapshot session does, on its final marker).
+        for interceptor in list(self._interceptors):
+            if interceptor(src, dst, payload):
+                return  # consumed (e.g. a snapshot marker)
+        self.trace.record(self.sim.now, "recv", dst, src=src,
+                          msg=type(payload).__name__)
+        for tap in self._delivery_taps:
+            tap(src, dst, payload)
+        process.on_message(src, payload)
+
+    def inject(self, src: str, dst: str, payload: Any, delay: float = 0.0) -> None:
+        """Schedule a delivery without requiring a link (testing hook).
+
+        DiCE's explorer uses this to subject a cloned node to synthesized
+        inputs that appear to come from a real neighbor.
+        """
+        self._schedule_delivery(src, dst, payload, delay)
+
+    def tap_deliveries(self, callback: Callable[[str, str, Any], None]) -> None:
+        """Observe every delivery (src, dst, payload) just before handling."""
+        self._delivery_taps.append(callback)
+
+    def add_interceptor(
+        self, callback: Callable[[str, str, Any], bool]
+    ) -> None:
+        """Register a delivery interceptor.
+
+        Interceptors run before the destination process; returning True
+        consumes the message.  The snapshot protocol uses this to carry
+        its markers over the same FIFO channels as protocol traffic
+        without the application ever seeing them.
+        """
+        self._interceptors.append(callback)
+
+    def remove_interceptor(
+        self, callback: Callable[[str, str, Any], bool]
+    ) -> None:
+        """Unregister a previously added interceptor."""
+        self._interceptors.remove(callback)
+
+    # -- snapshot hooks ------------------------------------------------------------
+
+    def in_flight(self) -> list[InFlightMessage]:
+        """Messages currently scheduled for delivery, in schedule order."""
+        live = [
+            msg for msg in self._in_flight.values() if not msg.event.cancelled
+        ]
+        return sorted(live, key=lambda msg: (msg.deliver_at, msg.src, msg.dst))
+
+    def quiescent(self) -> bool:
+        """True when no events remain (network fully converged)."""
+        return self.sim.pending == 0

@@ -1,0 +1,76 @@
+"""Structured event tracing.
+
+Every message send, delivery and drop in the simulated network is recorded
+as a :class:`TraceEvent`.  The property checkers in :mod:`repro.checks`
+consume traces (e.g. the oscillation checker counts route withdrawals per
+prefix), and the Figure-1 dashboard renders live counts from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence in the simulated network."""
+
+    time: float
+    kind: str
+    node: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.time:.3f}s {self.kind} @{self.node} {self.detail}>"
+
+
+class TraceRecorder:
+    """Accumulates trace events and notifies subscribers.
+
+    Recording can be disabled wholesale (``enabled=False``) for overhead
+    benchmarks that want the network with zero instrumentation cost.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int | None = None):
+        self.enabled = enabled
+        self._capacity = capacity
+        self._events: list[TraceEvent] = []
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+        self._counts: dict[str, int] = {}
+
+    def record(self, time: float, kind: str, node: str, **detail: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(time, kind, node, detail)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self._capacity is None or len(self._events) < self._capacity:
+            self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` synchronously for every future event."""
+        self._subscribers.append(callback)
+
+    def count(self, kind: str) -> int:
+        """Total events of ``kind`` recorded (survives capacity eviction)."""
+        return self._counts.get(kind, 0)
+
+    def events(self, kind: str | None = None, node: str | None = None) -> Iterator[TraceEvent]:
+        """Iterate stored events, optionally filtered by kind and node."""
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if node is not None and event.node != node:
+                continue
+            yield event
+
+    def clear(self) -> None:
+        """Drop stored events and counters."""
+        self._events.clear()
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

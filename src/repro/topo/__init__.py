@@ -1,0 +1,35 @@
+"""Topology generation: Internet-like AS graphs and policy gadgets.
+
+* :mod:`internet` — tiered topologies (tier-1 clique, transit providers,
+  stub ASes) with Gao–Rexford customer/provider/peer policies expressed
+  in the filter language, so configuration genuinely participates in
+  exploration;
+* :mod:`demo27` — the 27-router Internet-like topology of the demo's
+  Figure 1;
+* :mod:`gadgets` — canonical policy-conflict constructions (BAD GADGET,
+  DISAGREE) for the policy-conflict fault experiments.
+"""
+
+from repro.topo.internet import (
+    InternetTopology,
+    TopologyParams,
+    build_internet,
+    REL_CUSTOMER,
+    REL_PEER,
+    REL_PROVIDER,
+)
+from repro.topo.demo27 import build_demo27
+from repro.topo.gadgets import build_bad_gadget, build_disagree, build_good_gadget
+
+__all__ = [
+    "InternetTopology",
+    "TopologyParams",
+    "build_internet",
+    "build_demo27",
+    "build_bad_gadget",
+    "build_disagree",
+    "build_good_gadget",
+    "REL_CUSTOMER",
+    "REL_PEER",
+    "REL_PROVIDER",
+]

@@ -1,0 +1,30 @@
+"""The 27-router Internet-like demo topology (the paper's Figure 1).
+
+The demo paper shows DiCE "executing an experiment that involves
+exploring BGP system behavior in a topology with 27 BGP routers and
+Internet-like conditions".  The exact figure topology is not published;
+this module fixes a deterministic 27-node instance of the tiered
+generator (3 tier-1, 8 transit, 16 stubs — a realistic shape at that
+scale) that every FIG1 experiment and test reuses.
+"""
+
+from __future__ import annotations
+
+from repro.topo.internet import InternetTopology, TopologyParams, build_internet
+
+DEMO27_PARAMS = TopologyParams(
+    tier1=3,
+    transit=8,
+    stubs=16,
+    seed=2711,
+    transit_uplinks=2,
+    stub_uplinks_max=2,
+    transit_peering_prob=0.35,
+)
+
+
+def build_demo27() -> InternetTopology:
+    """The canonical 27-router topology."""
+    topology = build_internet(DEMO27_PARAMS)
+    assert len(topology.configs) == 27, "demo topology must have 27 routers"
+    return topology

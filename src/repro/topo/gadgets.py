@@ -1,0 +1,159 @@
+"""Canonical policy-conflict constructions.
+
+These are the textbook instances from Griffin & Wilfong's stable-paths
+work, expressed as router configurations in our filter language:
+
+* **BAD GADGET** — three ASes around an origin; each prefers the
+  two-hop path through its clockwise neighbor over its direct path and
+  filters anything longer.  No stable assignment exists, so BGP
+  oscillates forever — the policy-conflict fault DiCE must detect;
+* **DISAGREE** — two ASes each preferring the other's path; two stable
+  solutions exist and message timing picks one (converges, but
+  non-deterministically);
+* **GOOD GADGET** — the same wheel with preferences reversed (direct
+  path preferred), which provably converges; the negative control.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.config import NeighborConfig, RouterConfig
+from repro.bgp.ip import IPv4Address, Prefix
+from repro.bgp.policy import Filter
+from repro.net.link import LinkProfile
+
+GADGET_PREFIX = Prefix("10.99.0.0/16")
+
+_AS_ORIGIN = 65000
+_AS_WHEEL = (65001, 65002, 65003)
+
+
+def _wheel_configs(prefer_indirect: bool) -> tuple[list[RouterConfig], list]:
+    """Shared wheel construction for BAD and GOOD gadgets."""
+    origin = RouterConfig(
+        name="d",
+        local_as=_AS_ORIGIN,
+        router_id=IPv4Address("172.16.0.100"),
+        networks=(GADGET_PREFIX,),
+        neighbors=tuple(
+            NeighborConfig(peer=f"r{i + 1}", peer_as=_AS_WHEEL[i])
+            for i in range(3)
+        ),
+    )
+    direct_pref = 100 if prefer_indirect else 200
+    indirect_pref = 200 if prefer_indirect else 100
+    configs = [origin]
+    links = [(f"r{i + 1}", "d", LinkProfile.wan(latency_ms=10.0)) for i in range(3)]
+    for i in range(3):
+        clockwise = (i + 1) % 3
+        name = f"r{i + 1}"
+        cw_name = f"r{clockwise + 1}"
+        import_cw = Filter.compile(
+            f"filter imp_cw {{\n"
+            f"    if bgp_path.len > 2 then reject;\n"
+            f"    bgp_local_pref = {indirect_pref};\n"
+            f"    accept;\n"
+            f"}}\n"
+        )
+        import_d = Filter.compile(
+            f"filter imp_d {{ bgp_local_pref = {direct_pref}; accept; }}\n"
+        )
+        configs.append(
+            RouterConfig(
+                name=name,
+                local_as=_AS_WHEEL[i],
+                router_id=IPv4Address(f"172.16.0.{i + 1}"),
+                neighbors=(
+                    NeighborConfig(peer="d", peer_as=_AS_ORIGIN,
+                                   import_filter="imp_d"),
+                    NeighborConfig(peer=cw_name, peer_as=_AS_WHEEL[clockwise],
+                                   import_filter="imp_cw"),
+                    NeighborConfig(
+                        peer=f"r{(i - 1) % 3 + 1}",
+                        peer_as=_AS_WHEEL[(i - 1) % 3],
+                    ),
+                ),
+                filters={"imp_cw": import_cw, "imp_d": import_d},
+            )
+        )
+        if i < clockwise:  # each ring link added once
+            links.append((name, cw_name, LinkProfile.wan(latency_ms=15.0)))
+        else:
+            links.append((cw_name, name, LinkProfile.wan(latency_ms=15.0)))
+    # Deduplicate ring links (i<clockwise guard overlaps at the wrap).
+    seen = set()
+    unique_links = []
+    for a, b, profile in links:
+        key = frozenset((a, b))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique_links.append((a, b, profile))
+    return configs, unique_links
+
+
+def build_bad_gadget() -> tuple[list[RouterConfig], list]:
+    """The oscillating wheel: (configs, links)."""
+    return _wheel_configs(prefer_indirect=True)
+
+
+def build_good_gadget() -> tuple[list[RouterConfig], list]:
+    """The converging wheel: (configs, links)."""
+    return _wheel_configs(prefer_indirect=False)
+
+
+def build_disagree() -> tuple[list[RouterConfig], list]:
+    """DISAGREE: two ASes that each prefer the other's path.
+
+    Converges to one of two stable states depending on timing.
+    """
+    origin = RouterConfig(
+        name="d",
+        local_as=_AS_ORIGIN,
+        router_id=IPv4Address("172.16.1.100"),
+        networks=(GADGET_PREFIX,),
+        neighbors=(
+            NeighborConfig(peer="x", peer_as=65011),
+            NeighborConfig(peer="y", peer_as=65012),
+        ),
+    )
+    prefer_other = Filter.compile(
+        "filter imp_other {\n"
+        "    if bgp_path.len > 2 then reject;\n"
+        "    bgp_local_pref = 200;\n"
+        "    accept;\n"
+        "}\n"
+    )
+    direct = Filter.compile(
+        "filter imp_d { bgp_local_pref = 100; accept; }\n"
+    )
+    x = RouterConfig(
+        name="x",
+        local_as=65011,
+        router_id=IPv4Address("172.16.1.1"),
+        neighbors=(
+            NeighborConfig(peer="d", peer_as=_AS_ORIGIN, import_filter="imp_d"),
+            NeighborConfig(peer="y", peer_as=65012, import_filter="imp_other"),
+        ),
+        filters={"imp_other": prefer_other, "imp_d": direct},
+    )
+    y = RouterConfig(
+        name="y",
+        local_as=65012,
+        router_id=IPv4Address("172.16.1.2"),
+        neighbors=(
+            NeighborConfig(peer="d", peer_as=_AS_ORIGIN, import_filter="imp_d"),
+            NeighborConfig(peer="x", peer_as=65011, import_filter="imp_other"),
+        ),
+        filters={"imp_other": prefer_other, "imp_d": direct},
+    )
+    # Strongly asymmetric latencies: x hears the origin long before y,
+    # announces its direct path, and y settles on the indirect one.
+    # With near-symmetric timing DISAGREE livelocks (both nodes flip in
+    # lockstep) — a real BGP phenomenon, but not the behaviour this
+    # gadget is used to demonstrate.
+    links = [
+        ("d", "x", LinkProfile.wan(latency_ms=5.0, jitter_ms=0.5)),
+        ("d", "y", LinkProfile.wan(latency_ms=40.0, jitter_ms=0.5)),
+        ("x", "y", LinkProfile.wan(latency_ms=8.0, jitter_ms=0.5)),
+    ]
+    return [origin, x, y], links

@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic randomness, ids, stable hashing, timing.
+
+These helpers exist so that every stochastic decision in the reproduction
+(link jitter, fuzzing choices, solver search order) flows through a single
+seeded random service, which makes every experiment replayable bit-for-bit
+from its seed.
+"""
+
+from repro.util.rng import RandomService, derive_seed
+from repro.util.ids import IdGenerator
+from repro.util.hashing import stable_hash, salted_digest
+from repro.util.timer import Stopwatch
+
+__all__ = [
+    "RandomService",
+    "derive_seed",
+    "IdGenerator",
+    "stable_hash",
+    "salted_digest",
+    "Stopwatch",
+]

@@ -1,0 +1,61 @@
+"""Stable hashing helpers.
+
+Used by the federated information-sharing interface (``repro.core.sharing``)
+to exchange *commitments* to local state instead of raw state, and by the
+concolic engine to deduplicate explored paths.  Python's built-in ``hash``
+is salted per process, so everything here goes through SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    """Serialize ``value`` to a canonical byte string.
+
+    Supports the small vocabulary of types that cross the sharing
+    interface: ints, strings, bytes, bools, None, and (nested) tuples,
+    lists, frozensets and dicts thereof.  Sets and dicts are sorted by
+    their canonical encoding so ordering never leaks into the digest.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"T" if value else b"F"
+    if isinstance(value, int):
+        return b"i" + str(value).encode()
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return b"s" + str(len(encoded)).encode() + b":" + encoded
+    if isinstance(value, bytes):
+        return b"b" + str(len(value)).encode() + b":" + value
+    if isinstance(value, (tuple, list)):
+        parts = b"".join(_canonical_bytes(item) for item in value)
+        return b"(" + parts + b")"
+    if isinstance(value, (set, frozenset)):
+        parts = sorted(_canonical_bytes(item) for item in value)
+        return b"{" + b"".join(parts) + b"}"
+    if isinstance(value, dict):
+        items = sorted(
+            _canonical_bytes(key) + b"=" + _canonical_bytes(val)
+            for key, val in value.items()
+        )
+        return b"[" + b"".join(items) + b"]"
+    raise TypeError(f"cannot canonically hash value of type {type(value)!r}")
+
+
+def stable_hash(value: Any) -> int:
+    """Return a 64-bit process-independent hash of ``value``."""
+    digest = hashlib.sha256(_canonical_bytes(value)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def salted_digest(value: Any, salt: bytes) -> bytes:
+    """Return a salted SHA-256 commitment to ``value``.
+
+    The salt is chosen per check round by the verifier, so a node cannot
+    precompute commitments, and the raw value never leaves its domain.
+    """
+    return hashlib.sha256(salt + _canonical_bytes(value)).digest()

@@ -1,0 +1,25 @@
+"""Monotonic id generation for messages, snapshots and exploration runs."""
+
+from __future__ import annotations
+
+import itertools
+
+
+class IdGenerator:
+    """Generate ids of the form ``<prefix>-<counter>``.
+
+    Ids are deterministic (a plain counter), which keeps traces diffable
+    across runs with the same seed.
+    """
+
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def next(self) -> str:
+        """Return the next id in the sequence."""
+        return f"{self._prefix}-{next(self._counter)}"
+
+    def next_int(self) -> int:
+        """Return the next raw integer in the sequence."""
+        return next(self._counter)

@@ -1,0 +1,39 @@
+"""Wall-clock timing helper used by the overhead benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     pass
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None, "stopwatch exited without entering"
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += lap
+        self.laps.append(lap)
+
+    @property
+    def mean_lap(self) -> float:
+        """Mean duration over recorded laps (0.0 when none recorded)."""
+        if not self.laps:
+            return 0.0
+        return self.elapsed / len(self.laps)

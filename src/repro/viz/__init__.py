@@ -1,0 +1,21 @@
+"""Terminal rendering of topologies, live systems, and campaigns.
+
+The paper's Figure 1 is a GUI showing DiCE executing over the 27-router
+topology; :mod:`repro.viz.dashboard` renders the same information —
+tiered topology, per-node session/RIB status, exploration progress, and
+detected faults — as plain text for the examples and the FIG1 benchmark.
+"""
+
+from repro.viz.dashboard import (
+    render_campaign,
+    render_live_system,
+    render_topology,
+    render_fault_table,
+)
+
+__all__ = [
+    "render_topology",
+    "render_live_system",
+    "render_campaign",
+    "render_fault_table",
+]

@@ -1,0 +1,279 @@
+"""Tests for path attributes: model and wire codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import (
+    AsPath,
+    COMMUNITY_NO_EXPORT,
+    Origin,
+    PathAttributes,
+    SEGMENT_AS_SEQUENCE,
+    SEGMENT_AS_SET,
+)
+from repro.bgp.errors import UpdateMessageError
+from repro.bgp.ip import IPv4Address
+
+
+class TestOrigin:
+    def test_names(self):
+        assert Origin.name(0) == "IGP"
+        assert Origin.name(1) == "EGP"
+        assert Origin.name(2) == "INCOMPLETE"
+        assert Origin.name(7) == "?7"
+
+    def test_validity(self):
+        assert Origin.is_valid(0)
+        assert Origin.is_valid(2)
+        assert not Origin.is_valid(3)
+
+
+class TestAsPath:
+    def test_from_sequence(self):
+        path = AsPath.from_sequence(1, 2, 3)
+        assert list(path.asns()) == [1, 2, 3]
+        assert path.length() == 3
+
+    def test_empty_path(self):
+        path = AsPath()
+        assert path.length() == 0
+        assert path.first_as() is None
+        assert path.origin_as() is None
+
+    def test_prepend(self):
+        path = AsPath.from_sequence(2, 3).prepend(1)
+        assert list(path.asns()) == [1, 2, 3]
+
+    def test_prepend_to_empty(self):
+        path = AsPath().prepend(9)
+        assert list(path.asns()) == [9]
+
+    def test_prepend_does_not_mutate(self):
+        original = AsPath.from_sequence(5)
+        original.prepend(4)
+        assert list(original.asns()) == [5]
+
+    def test_as_set_counts_one_hop(self):
+        path = AsPath((
+            (SEGMENT_AS_SEQUENCE, (1, 2)),
+            (SEGMENT_AS_SET, (3, 4, 5)),
+        ))
+        assert path.length() == 3
+
+    def test_first_and_origin(self):
+        path = AsPath.from_sequence(10, 20, 30)
+        assert path.first_as() == 10
+        assert path.origin_as() == 30
+
+    def test_contains(self):
+        path = AsPath.from_sequence(1, 2)
+        assert path.contains(2)
+        assert not path.contains(3)
+
+    def test_bad_segment_type_rejected(self):
+        with pytest.raises(ValueError):
+            AsPath(((9, (1,)),))
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            AsPath(((SEGMENT_AS_SEQUENCE, ()),))
+
+    def test_encode_decode_roundtrip(self):
+        path = AsPath((
+            (SEGMENT_AS_SEQUENCE, (65001, 65002)),
+            (SEGMENT_AS_SET, (100, 200)),
+        ))
+        assert AsPath.decode(path.encode()) == path
+
+    def test_decode_rejects_bad_type(self):
+        with pytest.raises(UpdateMessageError) as excinfo:
+            AsPath.decode(bytes([7, 1, 0, 1]))
+        assert excinfo.value.subcode == UpdateMessageError.MALFORMED_AS_PATH
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(UpdateMessageError):
+            AsPath.decode(bytes([SEGMENT_AS_SEQUENCE, 3, 0, 1]))
+
+    def test_decode_rejects_empty_segment(self):
+        with pytest.raises(UpdateMessageError):
+            AsPath.decode(bytes([SEGMENT_AS_SEQUENCE, 0]))
+
+    def test_str_rendering(self):
+        path = AsPath((
+            (SEGMENT_AS_SEQUENCE, (1, 2)),
+            (SEGMENT_AS_SET, (3, 4)),
+        ))
+        assert str(path) == "1 2 {3 4}"
+
+    @given(st.lists(st.integers(min_value=1, max_value=0xFFFF), min_size=0,
+                    max_size=20))
+    def test_roundtrip_any_sequence(self, asns):
+        path = AsPath.from_sequence(*asns)
+        assert AsPath.decode(path.encode()) == path
+
+    @given(st.lists(st.integers(min_value=1, max_value=0xFFFF), min_size=1,
+                    max_size=10))
+    def test_prepend_increases_length_by_one(self, asns):
+        path = AsPath.from_sequence(*asns)
+        assert path.prepend(9999).length() == path.length() + 1
+
+
+def make_attrs(**overrides):
+    defaults = dict(
+        origin=Origin.IGP,
+        as_path=AsPath.from_sequence(65001, 65002),
+        next_hop=IPv4Address("10.0.0.1"),
+    )
+    defaults.update(overrides)
+    return PathAttributes(**defaults)
+
+
+class TestPathAttributesModel:
+    def test_replace_returns_new(self):
+        attrs = make_attrs()
+        changed = attrs.replace(med=50)
+        assert attrs.med is None
+        assert changed.med == 50
+
+    def test_has_community(self):
+        attrs = make_attrs(communities=(COMMUNITY_NO_EXPORT, 42))
+        assert attrs.has_community(COMMUNITY_NO_EXPORT)
+        assert not attrs.has_community(7)
+
+    def test_equality_by_content(self):
+        assert make_attrs() == make_attrs()
+        assert make_attrs(med=1) != make_attrs(med=2)
+
+    def test_hashable(self):
+        assert len({make_attrs(), make_attrs()}) == 1
+
+
+class TestPathAttributesCodec:
+    def test_mandatory_roundtrip(self):
+        attrs = make_attrs()
+        decoded = PathAttributes.decode(attrs.encode())
+        assert decoded == attrs
+
+    def test_full_roundtrip(self):
+        attrs = make_attrs(
+            origin=Origin.EGP,
+            med=4000,
+            local_pref=150,
+            atomic_aggregate=True,
+            aggregator=(65001, IPv4Address("1.2.3.4")),
+            communities=(COMMUNITY_NO_EXPORT, (65000 << 16) | 99),
+        )
+        assert PathAttributes.decode(attrs.encode()) == attrs
+
+    def test_missing_mandatory_rejected(self):
+        attrs = make_attrs()
+        encoded = attrs.encode()
+        # Strip the first attribute (ORIGIN, 4 bytes: flags,type,len,val).
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(encoded[4:])
+        assert excinfo.value.subcode == UpdateMessageError.MISSING_WELLKNOWN_ATTRIBUTE
+
+    def test_missing_mandatory_allowed_when_not_required(self):
+        decoded = PathAttributes.decode(b"", require_mandatory=False)
+        assert decoded.as_path.length() == 0
+
+    def test_duplicate_attribute_rejected(self):
+        attrs = make_attrs()
+        origin_tlv = bytes([0x40, 1, 1, 0])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(origin_tlv + attrs.encode())
+        assert excinfo.value.subcode == UpdateMessageError.MALFORMED_ATTRIBUTE_LIST
+
+    def test_bad_origin_value_rejected(self):
+        data = bytes([0x40, 1, 1, 9])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(data, require_mandatory=False)
+        assert excinfo.value.subcode == UpdateMessageError.INVALID_ORIGIN
+
+    def test_bad_flags_rejected(self):
+        # ORIGIN marked optional: flags error.
+        data = bytes([0xC0, 1, 1, 0])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(data, require_mandatory=False)
+        assert excinfo.value.subcode == UpdateMessageError.ATTRIBUTE_FLAGS_ERROR
+
+    def test_reserved_flag_bits_rejected(self):
+        data = bytes([0x41, 1, 1, 0])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(data, require_mandatory=False)
+        assert excinfo.value.subcode == UpdateMessageError.ATTRIBUTE_FLAGS_ERROR
+
+    def test_wrong_fixed_length_rejected(self):
+        data = bytes([0x40, 1, 2, 0, 0])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(data, require_mandatory=False)
+        assert excinfo.value.subcode == UpdateMessageError.ATTRIBUTE_LENGTH_ERROR
+
+    def test_overrunning_length_rejected(self):
+        data = bytes([0x40, 1, 5, 0])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(data, require_mandatory=False)
+        assert excinfo.value.subcode == UpdateMessageError.ATTRIBUTE_LENGTH_ERROR
+
+    def test_invalid_next_hop_rejected(self):
+        data = bytes([0x40, 3, 4, 0, 0, 0, 0])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(data, require_mandatory=False)
+        assert excinfo.value.subcode == UpdateMessageError.INVALID_NEXT_HOP
+
+    def test_multicast_next_hop_rejected(self):
+        data = bytes([0x40, 3, 4, 0xE0, 0, 0, 1])
+        with pytest.raises(UpdateMessageError):
+            PathAttributes.decode(data, require_mandatory=False)
+
+    def test_community_length_multiple_of_four(self):
+        data = bytes([0xC0, 8, 3, 0, 0, 0])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(data, require_mandatory=False)
+        assert excinfo.value.subcode == UpdateMessageError.OPTIONAL_ATTRIBUTE_ERROR
+
+    def test_unknown_wellknown_rejected(self):
+        data = bytes([0x40, 99, 1, 0])
+        with pytest.raises(UpdateMessageError) as excinfo:
+            PathAttributes.decode(data, require_mandatory=False)
+        assert (
+            excinfo.value.subcode
+            == UpdateMessageError.UNRECOGNIZED_WELLKNOWN_ATTRIBUTE
+        )
+
+    def test_unknown_optional_passthrough(self):
+        data = bytes([0x80, 99, 2, 0xAB, 0xCD])
+        decoded = PathAttributes.decode(data, require_mandatory=False)
+        assert decoded.unknown == ((0x80, 99, b"\xab\xcd"),)
+
+    def test_unknown_optional_reencoded_with_partial_bit(self):
+        attrs = make_attrs(unknown=((0xC0, 77, b"\x01"),))
+        encoded = attrs.encode()
+        decoded = PathAttributes.decode(encoded)
+        assert decoded.unknown[0][1] == 77
+
+    @given(
+        origin=st.sampled_from([0, 1, 2]),
+        asns=st.lists(st.integers(min_value=1, max_value=0xFFFF), min_size=1,
+                      max_size=6),
+        med=st.one_of(st.none(), st.integers(min_value=0, max_value=2**32 - 1)),
+        local_pref=st.one_of(st.none(),
+                             st.integers(min_value=0, max_value=2**32 - 1)),
+        atomic=st.booleans(),
+        communities=st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1), max_size=5
+        ),
+    )
+    def test_roundtrip_property(self, origin, asns, med, local_pref, atomic,
+                                communities):
+        attrs = PathAttributes(
+            origin=origin,
+            as_path=AsPath.from_sequence(*asns),
+            next_hop=IPv4Address("10.9.8.7"),
+            med=med,
+            local_pref=local_pref,
+            atomic_aggregate=atomic,
+            communities=tuple(communities),
+        )
+        assert PathAttributes.decode(attrs.encode()) == attrs

@@ -1,0 +1,250 @@
+"""Tests for the BGP message codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.errors import (
+    MessageHeaderError,
+    OpenMessageError,
+    UpdateMessageError,
+)
+from repro.bgp.ip import IPv4Address, Prefix
+from repro.bgp.messages import (
+    HEADER_SIZE,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    decode_message,
+)
+
+
+def attrs(*asns):
+    return PathAttributes(
+        as_path=AsPath.from_sequence(*asns),
+        next_hop=IPv4Address("10.0.0.1"),
+    )
+
+
+class TestHeader:
+    def test_too_short_rejected(self):
+        with pytest.raises(MessageHeaderError) as excinfo:
+            decode_message(b"\xff" * 18)
+        assert excinfo.value.subcode == MessageHeaderError.BAD_MESSAGE_LENGTH
+
+    def test_bad_marker_rejected(self):
+        data = bytearray(KeepaliveMessage().encode())
+        data[3] = 0x00
+        with pytest.raises(MessageHeaderError) as excinfo:
+            decode_message(bytes(data))
+        assert (
+            excinfo.value.subcode
+            == MessageHeaderError.CONNECTION_NOT_SYNCHRONIZED
+        )
+
+    def test_length_mismatch_rejected(self):
+        data = bytearray(KeepaliveMessage().encode())
+        data[17] = data[17] + 1
+        with pytest.raises(MessageHeaderError) as excinfo:
+            decode_message(bytes(data))
+        assert excinfo.value.subcode == MessageHeaderError.BAD_MESSAGE_LENGTH
+
+    def test_unknown_type_rejected(self):
+        data = bytearray(KeepaliveMessage().encode())
+        data[18] = 9
+        with pytest.raises(MessageHeaderError) as excinfo:
+            decode_message(bytes(data))
+        assert excinfo.value.subcode == MessageHeaderError.BAD_MESSAGE_TYPE
+
+
+class TestKeepalive:
+    def test_roundtrip(self):
+        decoded = decode_message(KeepaliveMessage().encode())
+        assert isinstance(decoded, KeepaliveMessage)
+
+    def test_size_is_header_only(self):
+        assert len(KeepaliveMessage().encode()) == HEADER_SIZE
+
+    def test_keepalive_with_body_rejected(self):
+        data = bytearray(KeepaliveMessage().encode())
+        data.append(0)
+        data[16:18] = len(data).to_bytes(2, "big")
+        with pytest.raises(MessageHeaderError):
+            decode_message(bytes(data))
+
+
+class TestOpen:
+    def test_roundtrip(self):
+        message = OpenMessage(
+            my_as=65001, hold_time=90, bgp_id=IPv4Address("10.0.0.1")
+        )
+        decoded = decode_message(message.encode())
+        assert isinstance(decoded, OpenMessage)
+        assert decoded.my_as == 65001
+        assert decoded.hold_time == 90
+        assert decoded.bgp_id == IPv4Address("10.0.0.1")
+        assert decoded.version == 4
+
+    def test_bad_version_rejected(self):
+        data = bytearray(
+            OpenMessage(65001, 90, IPv4Address("10.0.0.1")).encode()
+        )
+        data[HEADER_SIZE] = 3
+        with pytest.raises(OpenMessageError) as excinfo:
+            decode_message(bytes(data))
+        assert excinfo.value.subcode == OpenMessageError.UNSUPPORTED_VERSION
+
+    def test_as_zero_rejected(self):
+        data = bytearray(
+            OpenMessage(65001, 90, IPv4Address("10.0.0.1")).encode()
+        )
+        data[HEADER_SIZE + 1 : HEADER_SIZE + 3] = b"\x00\x00"
+        with pytest.raises(OpenMessageError) as excinfo:
+            decode_message(bytes(data))
+        assert excinfo.value.subcode == OpenMessageError.BAD_PEER_AS
+
+    def test_tiny_hold_time_rejected(self):
+        data = bytearray(
+            OpenMessage(65001, 90, IPv4Address("10.0.0.1")).encode()
+        )
+        data[HEADER_SIZE + 3 : HEADER_SIZE + 5] = b"\x00\x02"
+        with pytest.raises(OpenMessageError) as excinfo:
+            decode_message(bytes(data))
+        assert excinfo.value.subcode == OpenMessageError.UNACCEPTABLE_HOLD_TIME
+
+    def test_zero_hold_time_allowed(self):
+        message = OpenMessage(65001, 0, IPv4Address("10.0.0.1"))
+        assert decode_message(message.encode()).hold_time == 0
+
+    def test_zero_identifier_rejected(self):
+        data = bytearray(
+            OpenMessage(65001, 90, IPv4Address("10.0.0.1")).encode()
+        )
+        data[HEADER_SIZE + 5 : HEADER_SIZE + 9] = b"\x00" * 4
+        with pytest.raises(OpenMessageError) as excinfo:
+            decode_message(bytes(data))
+        assert excinfo.value.subcode == OpenMessageError.BAD_BGP_IDENTIFIER
+
+
+class TestNotification:
+    def test_roundtrip(self):
+        message = NotificationMessage(code=3, subcode=5, data=b"\x01")
+        decoded = decode_message(message.encode())
+        assert isinstance(decoded, NotificationMessage)
+        assert decoded.code == 3
+        assert decoded.subcode == 5
+        assert decoded.data == b"\x01"
+
+    def test_from_error(self):
+        error = UpdateMessageError(UpdateMessageError.INVALID_ORIGIN, "x")
+        message = NotificationMessage.from_error(error)
+        assert message.code == 3
+        assert message.subcode == UpdateMessageError.INVALID_ORIGIN
+
+
+class TestUpdate:
+    def test_announce_roundtrip(self):
+        message = UpdateMessage(
+            attributes=attrs(65001),
+            nlri=(Prefix("10.1.0.0/16"), Prefix("10.2.0.0/16")),
+        )
+        decoded = decode_message(message.encode())
+        assert isinstance(decoded, UpdateMessage)
+        assert decoded.nlri == message.nlri
+        assert decoded.attributes == message.attributes
+        assert decoded.withdrawn == ()
+
+    def test_withdraw_roundtrip(self):
+        message = UpdateMessage(withdrawn=(Prefix("10.3.0.0/16"),))
+        decoded = decode_message(message.encode())
+        assert decoded.withdrawn == (Prefix("10.3.0.0/16"),)
+        assert decoded.nlri == ()
+        assert decoded.attributes is None
+
+    def test_mixed_roundtrip(self):
+        message = UpdateMessage(
+            withdrawn=(Prefix("10.3.0.0/16"),),
+            attributes=attrs(65001, 65002),
+            nlri=(Prefix("10.4.0.0/16"),),
+        )
+        decoded = decode_message(message.encode())
+        assert decoded.withdrawn == message.withdrawn
+        assert decoded.nlri == message.nlri
+
+    def test_nlri_requires_attributes(self):
+        with pytest.raises(ValueError):
+            UpdateMessage(nlri=(Prefix("10.0.0.0/8"),))
+
+    def test_nlri_length_over_32_rejected(self):
+        message = UpdateMessage(
+            attributes=attrs(65001), nlri=(Prefix("10.1.0.0/16"),)
+        )
+        data = bytearray(message.encode())
+        data[-3] = 33  # prefix length octet of the single NLRI
+        with pytest.raises(UpdateMessageError) as excinfo:
+            decode_message(bytes(data))
+        assert excinfo.value.subcode == UpdateMessageError.INVALID_NETWORK_FIELD
+
+    def test_truncated_nlri_rejected(self):
+        message = UpdateMessage(
+            attributes=attrs(65001), nlri=(Prefix("10.1.0.0/16"),)
+        )
+        data = bytearray(message.encode())
+        data[-3] = 32  # claims 4 network octets, only 2 present
+        with pytest.raises(UpdateMessageError) as excinfo:
+            decode_message(bytes(data))
+        assert excinfo.value.subcode == UpdateMessageError.INVALID_NETWORK_FIELD
+
+    def test_withdrawn_overrun_rejected(self):
+        message = UpdateMessage(withdrawn=(Prefix("10.3.0.0/16"),))
+        data = bytearray(message.encode())
+        offset = HEADER_SIZE
+        data[offset : offset + 2] = (200).to_bytes(2, "big")
+        with pytest.raises(UpdateMessageError):
+            decode_message(bytes(data))
+
+    def test_attribute_overrun_rejected(self):
+        message = UpdateMessage(
+            attributes=attrs(65001), nlri=(Prefix("10.1.0.0/16"),)
+        )
+        data = bytearray(message.encode())
+        attr_len_offset = HEADER_SIZE + 2
+        data[attr_len_offset : attr_len_offset + 2] = (999).to_bytes(2, "big")
+        with pytest.raises(UpdateMessageError):
+            decode_message(bytes(data))
+
+    def test_stray_host_bits_masked(self):
+        message = UpdateMessage(
+            attributes=attrs(65001), nlri=(Prefix("10.1.0.0/16"),)
+        )
+        data = bytearray(message.encode())
+        data[-1] |= 0x01  # does nothing: /16 keeps both octets
+        decoded = decode_message(bytes(data))
+        assert decoded.nlri[0].length == 16
+
+    @given(
+        nlri=st.lists(
+            st.sampled_from([
+                Prefix("10.0.0.0/8"),
+                Prefix("10.1.0.0/16"),
+                Prefix("192.168.1.0/24"),
+                Prefix("10.1.2.3/32"),
+            ]),
+            max_size=4,
+        ),
+        withdrawn=st.lists(
+            st.sampled_from([Prefix("172.16.0.0/12"), Prefix("10.9.0.0/16")]),
+            max_size=3,
+        ),
+    )
+    def test_roundtrip_property(self, nlri, withdrawn):
+        message = UpdateMessage(
+            withdrawn=tuple(withdrawn),
+            attributes=attrs(65001) if nlri else None,
+            nlri=tuple(nlri),
+        )
+        decoded = decode_message(message.encode())
+        assert decoded.nlri == tuple(nlri)
+        assert decoded.withdrawn == tuple(withdrawn)

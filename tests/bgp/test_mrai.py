@@ -1,0 +1,81 @@
+"""Tests for MRAI (minimum route advertisement interval) batching."""
+
+import dataclasses
+
+from repro import quickstart_system
+from repro.bgp.config import AddNetwork, RemoveNetwork
+from repro.bgp.ip import Prefix
+
+
+def live_with_mrai(mrai):
+    live = quickstart_system(seed=9)
+    r2 = live.router("r2")
+    r2.config = dataclasses.replace(r2.config, mrai=mrai)
+    live.converge()
+    return live
+
+
+class TestMrai:
+    def test_mrai_reduces_update_count_under_churn(self):
+        """Rapid flaps at r1 must reach r3 as far fewer UPDATEs when r2
+        rate-limits with MRAI."""
+
+        def run(mrai):
+            live = live_with_mrai(mrai)
+            flapper = Prefix("10.1.0.0/16")
+            before = live.router("r3").sessions["r2"].stats.updates_received
+            start = live.network.sim.now
+            for index in range(8):
+                change = (
+                    RemoveNetwork(flapper) if index % 2 == 0
+                    else AddNetwork(flapper)
+                )
+                live.schedule_change(start + 0.5 * (index + 1), "r1", change)
+            live.run(until=start + 40)
+            after = live.router("r3").sessions["r2"].stats.updates_received
+            return after - before
+
+        without = run(0.0)
+        with_mrai = run(10.0)
+        assert with_mrai < without
+
+    def test_mrai_converges_to_same_state(self):
+        """Batching delays but must not change the final routes."""
+        live = live_with_mrai(5.0)
+        new_prefix = Prefix("10.70.0.0/16")
+        live.apply_change("r1", AddNetwork(new_prefix))
+        live.run(until=live.network.sim.now + 30)
+        route = live.router("r3").loc_rib.get(new_prefix)
+        assert route is not None
+        assert list(route.attributes.as_path.asns()) == [65002, 65001]
+
+    def test_coalesced_withdraw_then_announce(self):
+        """A flap that settles back within one MRAI window must leave
+        the neighbor with the (fresh) route, not a stale withdrawal."""
+        live = live_with_mrai(10.0)
+        flapper = Prefix("10.1.0.0/16")
+        start = live.network.sim.now
+        live.schedule_change(start + 0.5, "r1", RemoveNetwork(flapper))
+        live.schedule_change(start + 1.0, "r1", AddNetwork(flapper))
+        live.run(until=start + 60)
+        assert live.router("r3").loc_rib.get(flapper) is not None
+
+    def test_pending_export_in_checkpoint(self):
+        """MRAI-pending changes survive checkpoint/restore."""
+        live = live_with_mrai(30.0)
+        r2 = live.router("r2")
+        flapper = Prefix("10.1.0.0/16")
+        start = live.network.sim.now
+        # Two quick changes: the second lands in the pending buffer.
+        live.schedule_change(start + 0.2, "r1", RemoveNetwork(flapper))
+        live.schedule_change(start + 0.4, "r1", AddNetwork(flapper))
+        live.run(until=start + 3)
+        state = r2.export_state()
+        if state["pending_export"]:
+            from repro.bgp.router import BGPRouter
+            import copy
+
+            fresh = BGPRouter(state["config"])
+            fresh.attach(live.network)
+            fresh.import_state(copy.deepcopy(state))
+            assert fresh._pending_export  # noqa: SLF001 - state fidelity

@@ -1,0 +1,195 @@
+"""Tests for the filter-language lexer and parser."""
+
+import pytest
+
+from repro.bgp.ip import Prefix
+from repro.bgp.policy_lang import (
+    AcceptStmt,
+    AsSet,
+    AssignStmt,
+    BinaryOp,
+    IfStmt,
+    IntLiteral,
+    MethodStmt,
+    PolicySyntaxError,
+    PrefixSet,
+    RejectStmt,
+    parse_filter_source,
+    parse_single_filter,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_tokens_have_positions(self):
+        tokens = tokenize("filter f {\n  accept;\n}")
+        accept = next(t for t in tokens if t.text == "accept")
+        assert accept.line == 2
+        assert accept.column == 3
+
+    def test_comments_stripped(self):
+        tokens = tokenize("accept; # comment here\nreject;")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["accept", ";", "reject", ";"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a && b || c != d <= e >= f")
+        ops = [t.text for t in tokens if t.kind == "punct"]
+        assert ops == ["&&", "||", "!=", "<=", ">="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(PolicySyntaxError):
+            tokenize("filter f { $ }")
+
+
+class TestParserBasics:
+    def test_empty_filter(self):
+        definition = parse_single_filter("filter f { }")
+        assert definition.name == "f"
+        assert definition.body == ()
+
+    def test_accept_reject(self):
+        definition = parse_single_filter("filter f { accept; }")
+        assert isinstance(definition.body[0], AcceptStmt)
+        definition = parse_single_filter("filter f { reject; }")
+        assert isinstance(definition.body[0], RejectStmt)
+
+    def test_assignment(self):
+        definition = parse_single_filter(
+            "filter f { bgp_local_pref = 200; accept; }"
+        )
+        statement = definition.body[0]
+        assert isinstance(statement, AssignStmt)
+        assert statement.target == "bgp_local_pref"
+        assert statement.value == IntLiteral(200)
+
+    def test_method_call(self):
+        definition = parse_single_filter(
+            "filter f { bgp_community.add((65000, 1)); accept; }"
+        )
+        statement = definition.body[0]
+        assert isinstance(statement, MethodStmt)
+        assert statement.target == "bgp_community"
+        assert statement.method == "add"
+
+    def test_if_then_else(self):
+        definition = parse_single_filter(
+            "filter f { if bgp_med > 5 then accept; else reject; }"
+        )
+        statement = definition.body[0]
+        assert isinstance(statement, IfStmt)
+        assert isinstance(statement.then_branch[0], AcceptStmt)
+        assert isinstance(statement.else_branch[0], RejectStmt)
+
+    def test_if_with_block(self):
+        definition = parse_single_filter(
+            "filter f { if true then { bgp_med = 1; accept; } }"
+        )
+        statement = definition.body[0]
+        assert len(statement.then_branch) == 2
+
+    def test_multiple_filters(self):
+        filters = parse_filter_source(
+            "filter a { accept; } filter b { reject; }"
+        )
+        assert set(filters) == {"a", "b"}
+
+    def test_duplicate_filter_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_filter_source("filter a { accept; } filter a { reject; }")
+
+    def test_single_expects_exactly_one(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_single_filter("filter a { accept; } filter b { accept; }")
+
+
+class TestExpressions:
+    def parse_condition(self, text):
+        definition = parse_single_filter(
+            f"filter f {{ if {text} then accept; }}"
+        )
+        return definition.body[0].condition
+
+    def test_precedence_and_over_or(self):
+        cond = self.parse_condition("true || true && false")
+        assert isinstance(cond, BinaryOp)
+        assert cond.op == "||"
+        assert cond.right.op == "&&"
+
+    def test_comparison(self):
+        cond = self.parse_condition("bgp_local_pref >= 100")
+        assert cond.op == ">="
+
+    def test_match_operator(self):
+        cond = self.parse_condition("bgp_path ~ [ 666, 667 ]")
+        assert cond.op == "~"
+        assert cond.right == AsSet((666, 667))
+
+    def test_prefix_set_modifiers(self):
+        cond = self.parse_condition(
+            "net ~ [ 10.0.0.0/8+, 172.16.0.0/12-, 192.168.0.0/16{17,24}, 10.1.0.0/16 ]"
+        )
+        patterns = cond.right.patterns
+        assert isinstance(cond.right, PrefixSet)
+        assert (patterns[0].low, patterns[0].high) == (8, 32)
+        assert (patterns[1].low, patterns[1].high) == (0, 12)
+        assert (patterns[2].low, patterns[2].high) == (17, 24)
+        assert (patterns[3].low, patterns[3].high) == (16, 16)
+
+    def test_prefix_literal(self):
+        cond = self.parse_condition("net ~ 10.0.0.0/8")
+        assert cond.right.prefix == Prefix("10.0.0.0/8")
+
+    def test_field_access(self):
+        cond = self.parse_condition("bgp_path.len > 3")
+        assert cond.left.field == "len"
+
+    def test_negation(self):
+        cond = self.parse_condition("! (bgp_med = 0)")
+        assert cond.op == "!"
+
+    def test_arithmetic(self):
+        cond = self.parse_condition("bgp_med + 10 < 50")
+        assert cond.left.op == "+"
+
+    def test_pair_literal(self):
+        cond = self.parse_condition("bgp_community ~ (65000, 99)")
+        assert cond.right.high == IntLiteral(65000)
+
+    def test_mixed_set_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            self.parse_condition("net ~ [ 10.0.0.0/8, 666 ]")
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            self.parse_condition("net ~ [ 10.0.0.0/8{24,8} ]")
+
+    def test_bad_octet_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            self.parse_condition("net ~ [ 300.0.0.0/8 ]")
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            self.parse_condition("net ~ [ 10.0.0.1/8 ]")
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_single_filter("filter f { accept }")
+
+    def test_missing_then(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_single_filter("filter f { if true accept; }")
+
+    def test_unclosed_block(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_single_filter("filter f { accept;")
+
+    def test_error_carries_location(self):
+        try:
+            parse_single_filter("filter f {\n  if true accept;\n}")
+        except PolicySyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected a syntax error")

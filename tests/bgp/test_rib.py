@@ -1,0 +1,158 @@
+"""Tests for the three RIBs."""
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.ip import IPv4Address, Prefix
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib
+from repro.bgp.route import SOURCE_EBGP, Route
+
+P1 = Prefix("10.1.0.0/16")
+P2 = Prefix("10.2.0.0/16")
+
+
+def route(prefix=P1, peer="p1", local_pref=None, asns=(65001,)):
+    return Route(
+        prefix=prefix,
+        attributes=PathAttributes(
+            as_path=AsPath.from_sequence(*asns),
+            next_hop=IPv4Address("10.0.0.1"),
+            local_pref=local_pref,
+        ),
+        source=SOURCE_EBGP,
+        peer=peer,
+        peer_as=asns[0],
+    )
+
+
+class TestAdjRibIn:
+    def test_update_returns_previous(self):
+        rib = AdjRibIn("p1")
+        first = route()
+        second = route(local_pref=50)
+        assert rib.update(first) is None
+        assert rib.update(second) is first
+        assert rib.get(P1) is second
+
+    def test_withdraw(self):
+        rib = AdjRibIn("p1")
+        entry = route()
+        rib.update(entry)
+        assert rib.withdraw(P1) is entry
+        assert rib.withdraw(P1) is None
+        assert len(rib) == 0
+
+    def test_clear_returns_prefixes(self):
+        rib = AdjRibIn("p1")
+        rib.update(route(P1))
+        rib.update(route(P2))
+        assert sorted(rib.clear()) == [P1, P2]
+        assert len(rib) == 0
+
+    def test_routes_iteration(self):
+        rib = AdjRibIn("p1")
+        rib.update(route(P1))
+        rib.update(route(P2))
+        assert {r.prefix for r in rib.routes()} == {P1, P2}
+
+
+class TestLocRib:
+    def test_set_and_get(self):
+        rib = LocRib()
+        entry = route()
+        change = rib.set(1.0, P1, entry)
+        assert change.kind == "advertise"
+        assert rib.get(P1) is entry
+        assert len(rib) == 1
+
+    def test_idempotent_set_returns_none(self):
+        rib = LocRib()
+        entry = route()
+        rib.set(1.0, P1, entry)
+        assert rib.set(2.0, P1, entry) is None
+        assert rib.changes_total == 1
+
+    def test_equal_route_does_not_journal(self):
+        rib = LocRib()
+        rib.set(1.0, P1, route())
+        assert rib.set(2.0, P1, route()) is None
+
+    def test_replace_journalled(self):
+        rib = LocRib()
+        rib.set(1.0, P1, route())
+        change = rib.set(2.0, P1, route(local_pref=200))
+        assert change.kind == "replace"
+        assert rib.changes_total == 2
+
+    def test_withdraw_journalled(self):
+        rib = LocRib()
+        rib.set(1.0, P1, route())
+        change = rib.set(2.0, P1, None)
+        assert change.kind == "withdraw"
+        assert rib.get(P1) is None
+
+    def test_withdraw_absent_is_noop(self):
+        rib = LocRib()
+        assert rib.set(1.0, P1, None) is None
+
+    def test_longest_prefix_lookup(self):
+        rib = LocRib()
+        short = route(Prefix("10.0.0.0/8"))
+        long = route(P1, peer="p2")
+        rib.set(1.0, Prefix("10.0.0.0/8"), short)
+        rib.set(1.0, P1, long)
+        assert rib.lookup(IPv4Address("10.1.2.3")) is long
+        assert rib.lookup(IPv4Address("10.5.0.1")) is short
+        assert rib.lookup(IPv4Address("11.0.0.1")) is None
+
+    def test_journal_filtering(self):
+        rib = LocRib()
+        rib.set(1.0, P1, route(P1))
+        rib.set(2.0, P2, route(P2))
+        rib.set(3.0, P1, None)
+        assert len(rib.changes_for(P1)) == 2
+        assert len(rib.changes_for(P2)) == 1
+
+    def test_journal_capacity_keeps_most_recent(self):
+        rib = LocRib(journal_capacity=3)
+        for index in range(10):
+            pref = 100 + index
+            rib.set(float(index), P1, route(local_pref=pref))
+        journal = rib.journal()
+        assert len(journal) == 3
+        # Ring buffer: the latest changes survive eviction.
+        assert journal[-1].time == 9.0
+        assert rib.changes_total == 10
+
+    def test_recent_changes(self):
+        rib = LocRib()
+        for index in range(5):
+            rib.set(float(index), P1, route(local_pref=100 + index))
+        recent = rib.recent_changes(2)
+        assert [change.time for change in recent] == [3.0, 4.0]
+        assert rib.recent_changes(0) == []
+        assert len(rib.recent_changes(99)) == 5
+
+
+class TestAdjRibOut:
+    def test_duplicate_announce_suppressed(self):
+        rib = AdjRibOut("p1")
+        assert rib.record_announce(route()) is True
+        assert rib.record_announce(route()) is False
+
+    def test_changed_attributes_reannounced(self):
+        rib = AdjRibOut("p1")
+        rib.record_announce(route())
+        assert rib.record_announce(route(local_pref=200)) is True
+
+    def test_withdraw_only_when_advertised(self):
+        rib = AdjRibOut("p1")
+        assert rib.record_withdraw(P1) is False
+        rib.record_announce(route())
+        assert rib.record_withdraw(P1) is True
+        assert rib.record_withdraw(P1) is False
+
+    def test_clear(self):
+        rib = AdjRibOut("p1")
+        rib.record_announce(route())
+        rib.clear()
+        assert len(rib) == 0
+        assert rib.record_withdraw(P1) is False

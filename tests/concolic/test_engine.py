@@ -1,0 +1,165 @@
+"""Tests for the concolic exploration engine."""
+
+import pytest
+
+from repro.concolic.engine import ConcolicEngine, RandomByteExplorer
+from repro.concolic.path import flip_at, flip_signature, held_path, signature
+from repro.concolic.solver import Solver
+from repro.concolic.symbolic import SymBytes
+
+
+def branchy_program(sym):
+    """A small program with a nested branch structure and a rare crash."""
+    if sym[0] > 100:
+        if sym[1] == 77:
+            raise ValueError("crash path")
+        return "high"
+    if sym[0] > 50:
+        return "mid"
+    if sym[1] & 0x01:
+        return "low-odd"
+    return "low-even"
+
+
+class TestRunOnce:
+    def test_records_path(self):
+        engine = ConcolicEngine(branchy_program)
+        execution = engine.run_once(SymBytes.mark_all(b"\x00\x00"))
+        assert execution.result == "low-even"
+        assert len(execution.branches) == 3
+        assert not execution.crashed
+
+    def test_captures_crash(self):
+        engine = ConcolicEngine(branchy_program)
+        execution = engine.run_once(SymBytes.mark_all(bytes([200, 77])))
+        assert execution.crashed
+        assert isinstance(execution.exception, ValueError)
+
+    def test_harness_errors_propagate(self):
+        def bad(sym):
+            raise KeyboardInterrupt
+
+        engine = ConcolicEngine(bad)
+        with pytest.raises(KeyboardInterrupt):
+            engine.run_once(SymBytes.mark_all(b"\x00"))
+
+
+class TestExplore:
+    def test_discovers_all_paths(self):
+        engine = ConcolicEngine(branchy_program, max_executions=40)
+        result = engine.explore([SymBytes.mark_all(b"\x00\x00")])
+        # Paths: high-crash, high-ok, mid, low-odd, low-even = 5.
+        assert result.unique_paths == 5
+        assert result.frontier_exhausted
+
+    def test_finds_rare_crash(self):
+        engine = ConcolicEngine(branchy_program, max_executions=40)
+        result = engine.explore([SymBytes.mark_all(b"\x00\x00")])
+        assert len(result.crashes) == 1
+        crash_input = result.crashes[0].input.concrete
+        assert crash_input[0] > 100
+        assert crash_input[1] == 77
+
+    def test_stop_on_first_crash(self):
+        engine = ConcolicEngine(
+            branchy_program, max_executions=100, stop_on_first_crash=True
+        )
+        result = engine.explore([SymBytes.mark_all(bytes([200, 77]))])
+        assert result.crashes
+        assert result.executions == 1
+
+    def test_budget_respected(self):
+        engine = ConcolicEngine(branchy_program, max_executions=3)
+        result = engine.explore([SymBytes.mark_all(b"\x00\x00")])
+        assert result.executions == 3
+
+    def test_no_marks_no_children(self):
+        engine = ConcolicEngine(branchy_program, max_executions=10)
+        result = engine.explore([SymBytes(b"\x00\x00", {})])
+        assert result.executions == 1
+        assert result.unique_paths == 1
+
+    def test_progress_samples_recorded(self):
+        engine = ConcolicEngine(branchy_program, max_executions=10)
+        result = engine.explore([SymBytes.mark_all(b"\x00\x00")])
+        assert result.progress[0][0] == 1
+        assert result.progress[-1][0] == result.executions
+
+    def test_deterministic_given_seeded_solver(self):
+        def run():
+            engine = ConcolicEngine(
+                branchy_program, solver=Solver(seed=5), max_executions=30
+            )
+            result = engine.explore([SymBytes.mark_all(b"\x00\x00")])
+            return (result.executions, result.unique_paths,
+                    len(result.crashes))
+
+        assert run() == run()
+
+    def test_paths_per_execution_metric(self):
+        engine = ConcolicEngine(branchy_program, max_executions=20)
+        result = engine.explore([SymBytes.mark_all(b"\x00\x00")])
+        assert 0 < result.paths_per_execution() <= 1.0
+
+
+class TestPathHelpers:
+    def _branches(self, data):
+        engine = ConcolicEngine(branchy_program)
+        return engine.run_once(SymBytes.mark_all(data)).branches
+
+    def test_held_path_satisfied_by_input(self):
+        branches = self._branches(bytes([10, 2]))
+        for constraint in held_path(branches):
+            assert constraint.holds({"b0": 10, "b1": 2})
+
+    def test_flip_at_negates_index(self):
+        branches = self._branches(bytes([10, 2]))
+        flipped = flip_at(branches, 0)
+        # Original first branch: b0 > 100 was False; negation: b0 > 100.
+        assert not flipped[0].holds({"b0": 10, "b1": 2})
+        assert flipped[0].holds({"b0": 200, "b1": 2})
+
+    def test_flip_at_bounds(self):
+        branches = self._branches(bytes([10, 2]))
+        with pytest.raises(IndexError):
+            flip_at(branches, 99)
+
+    def test_signature_stable(self):
+        a = self._branches(bytes([10, 2]))
+        b = self._branches(bytes([12, 2]))
+        assert signature(a) == signature(b)  # same path
+
+    def test_flip_signature_distinct_per_index(self):
+        branches = self._branches(bytes([10, 2]))
+        sigs = {flip_signature(branches, i) for i in range(len(branches))}
+        assert len(sigs) == len(branches)
+
+
+class TestRandomBaseline:
+    def test_explores_some_paths(self):
+        explorer = RandomByteExplorer(branchy_program, seed=1,
+                                      max_executions=60)
+        result = explorer.explore([SymBytes.mark_all(b"\x00\x00")])
+        assert result.executions == 60
+        assert result.unique_paths >= 2
+
+    def test_concolic_beats_random_on_narrow_condition(self):
+        """The EXP-EXPLORE shape: the nested b1 == 77 crash is a 1/256
+        target random mutation rarely hits, while concolic solves it."""
+        budget = 30
+        concolic = ConcolicEngine(branchy_program, max_executions=budget)
+        concolic_result = concolic.explore([SymBytes.mark_all(b"\x00\x00")])
+        random_explorer = RandomByteExplorer(
+            branchy_program, seed=9, max_executions=budget
+        )
+        random_result = random_explorer.explore(
+            [SymBytes.mark_all(b"\x00\x00")]
+        )
+        assert concolic_result.unique_paths >= random_result.unique_paths
+        assert concolic_result.crashes
+
+    def test_unmarked_input_returns_same(self):
+        explorer = RandomByteExplorer(branchy_program, seed=1,
+                                      max_executions=5)
+        result = explorer.explore([SymBytes(b"\x00\x00", {})])
+        assert result.executions == 5

@@ -1,0 +1,133 @@
+"""Tests for the expression/constraint AST."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.concolic.expr import (
+    BinOp,
+    Const,
+    Constraint,
+    UnOp,
+    Var,
+    make_binop,
+    make_unop,
+)
+
+
+class TestVar:
+    def test_domain_validated(self):
+        with pytest.raises(ValueError):
+            Var("x", 10, 5)
+
+    def test_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_evaluate(self):
+        assert Var("x").evaluate({"x": 7}) == 7
+
+
+class TestConstantFolding:
+    def test_const_const_folds(self):
+        assert make_binop("add", Const(2), Const(3)) == Const(5)
+
+    def test_add_zero_identity(self):
+        x = Var("x")
+        assert make_binop("add", x, Const(0)) is x
+        assert make_binop("add", Const(0), x) is x
+
+    def test_mul_zero_annihilates(self):
+        assert make_binop("mul", Var("x"), Const(0)) == Const(0)
+
+    def test_mul_one_identity(self):
+        x = Var("x")
+        assert make_binop("mul", x, Const(1)) is x
+
+    def test_shift_zero_identity(self):
+        x = Var("x")
+        assert make_binop("shl", x, Const(0)) is x
+
+    def test_and_zero(self):
+        assert make_binop("and", Var("x"), Const(0)) == Const(0)
+
+    def test_double_negation_cancels(self):
+        x = Var("x")
+        assert make_unop("neg", make_unop("neg", x)) is x
+
+    def test_unop_const_folds(self):
+        assert make_unop("neg", Const(5)) == Const(-5)
+        assert make_unop("not", Const(0)) == Const(-1)
+
+
+class TestEvaluation:
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_binops_match_python(self, a, b):
+        assignment = {"a": a, "b": b}
+        va, vb = Var("a"), Var("b")
+        cases = {
+            "add": a + b, "sub": a - b, "mul": a * b,
+            "and": a & b, "or": a | b, "xor": a ^ b,
+        }
+        for op, expected in cases.items():
+            assert BinOp(op, va, vb).evaluate(assignment) == expected
+        assert BinOp("shl", va, Const(3)).evaluate(assignment) == a << 3
+        assert BinOp("shr", va, Const(2)).evaluate(assignment) == a >> 2
+
+    def test_unop_evaluate(self):
+        assert UnOp("neg", Var("x")).evaluate({"x": 4}) == -4
+        assert UnOp("not", Var("x")).evaluate({"x": 4}) == ~4
+
+
+class TestConstraint:
+    def test_negation_pairs(self):
+        c = Constraint("lt", Var("x"), Const(5))
+        assert c.negated().op == "ge"
+        assert c.negated().negated() == c
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("spaceship", Var("x"), Const(1))
+
+    @given(st.integers(min_value=-10, max_value=10))
+    def test_holds_matches_python(self, x):
+        assignment = {"x": x}
+        checks = {
+            "eq": x == 3, "ne": x != 3, "lt": x < 3,
+            "le": x <= 3, "gt": x > 3, "ge": x >= 3,
+        }
+        for op, expected in checks.items():
+            constraint = Constraint(op, Var("x"), Const(3))
+            assert constraint.holds(assignment) == expected
+
+    @given(st.integers(min_value=-10, max_value=10))
+    def test_negation_is_complement(self, x):
+        constraint = Constraint("le", Var("x"), Const(0))
+        assignment = {"x": x}
+        assert constraint.holds(assignment) != constraint.negated().holds(
+            assignment
+        )
+
+    def test_hash_equal_constraints(self):
+        a = Constraint("eq", Var("x"), Const(1))
+        b = Constraint("eq", Var("x"), Const(1))
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_commutative_hash(self):
+        a = BinOp("add", Var("x"), Var("y"))
+        b = BinOp("add", Var("y"), Var("x"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_variables_enumeration(self):
+        constraint = Constraint(
+            "eq",
+            BinOp("add", Var("x"), Var("y")),
+            Const(3),
+        )
+        names = {var.name for var in constraint.variables()}
+        assert names == {"x", "y"}

@@ -1,0 +1,56 @@
+"""Tests for the engine's frontier disciplines (BFS/DFS/coverage)."""
+
+import pytest
+
+from repro.concolic.engine import ConcolicEngine
+from repro.concolic.symbolic import SymBytes
+
+
+def deep_program(sym):
+    """A chain of equality gates: depth rewards depth-first search."""
+    depth = 0
+    for index in range(6):
+        if sym[index] == index + 1:
+            depth += 1
+        else:
+            break
+    if depth == 6:
+        raise ValueError("bottom of the chain")
+    return depth
+
+
+class TestDisciplines:
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            ConcolicEngine(deep_program, frontier="spiral")
+
+    @pytest.mark.parametrize("frontier", ["bfs", "dfs", "coverage"])
+    def test_all_disciplines_reach_the_bottom(self, frontier):
+        engine = ConcolicEngine(
+            deep_program, max_executions=60, frontier=frontier
+        )
+        result = engine.explore([SymBytes.mark_all(b"\x00" * 6)])
+        assert result.crashes, f"{frontier} missed the deep crash"
+
+    @pytest.mark.parametrize("frontier", ["bfs", "dfs", "coverage"])
+    def test_path_accounting_consistent(self, frontier):
+        engine = ConcolicEngine(
+            deep_program, max_executions=40, frontier=frontier
+        )
+        result = engine.explore([SymBytes.mark_all(b"\x00" * 6)])
+        assert result.unique_paths <= result.executions
+        assert result.branch_coverage > 0
+
+    def test_dfs_reaches_depth_in_fewer_executions(self):
+        """On a depth-gated program DFS needs no more runs than BFS."""
+
+        def crash_execution_index(frontier):
+            engine = ConcolicEngine(
+                deep_program, max_executions=120, frontier=frontier,
+                stop_on_first_crash=True,
+            )
+            result = engine.explore([SymBytes.mark_all(b"\x00" * 6)])
+            assert result.crashes
+            return result.executions
+
+        assert crash_execution_index("dfs") <= crash_execution_index("bfs")

@@ -1,0 +1,246 @@
+"""Tests for the constraint solver.
+
+The soundness contract: any non-None model satisfies every constraint.
+Completeness is best-effort, so tests assert success only on shapes the
+solver is designed for (decoder-style constraints).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concolic.expr import BinOp, Const, Constraint, Var
+from repro.concolic.solver import Solver, _concat_terms, _decompose_concat
+
+
+def byte(name):
+    return Var(name, 0, 255)
+
+
+def u16(a, b):
+    return BinOp("or", BinOp("shl", a, Const(8)), b)
+
+
+def u32(b0, b1, b2, b3):
+    return BinOp(
+        "or",
+        BinOp(
+            "or",
+            BinOp("shl", b0, Const(24)),
+            BinOp("shl", b1, Const(16)),
+        ),
+        BinOp("or", BinOp("shl", b2, Const(8)), b3),
+    )
+
+
+class TestConcatRecognition:
+    def test_u16_recognized(self):
+        terms = _concat_terms(u16(byte("a"), byte("b")))
+        assert [(v.name, s) for v, s in terms] == [("a", 8), ("b", 0)]
+
+    def test_u32_recognized(self):
+        terms = _concat_terms(u32(byte("a"), byte("b"), byte("c"), byte("d")))
+        assert [s for _, s in terms] == [24, 16, 8, 0]
+
+    def test_add_accepted(self):
+        expr = BinOp("add", BinOp("shl", byte("a"), Const(8)), byte("b"))
+        assert _concat_terms(expr) is not None
+
+    def test_non_byte_shift_rejected(self):
+        expr = BinOp("or", BinOp("shl", byte("a"), Const(7)), byte("b"))
+        assert _concat_terms(expr) is None
+
+    def test_duplicate_var_rejected(self):
+        expr = u16(byte("a"), byte("a"))
+        assert _concat_terms(expr) is None
+
+    def test_decompose(self):
+        terms = _concat_terms(u16(byte("a"), byte("b")))
+        assert _decompose_concat(terms, 0xBEEF) == {"a": 0xBE, "b": 0xEF}
+
+    def test_decompose_out_of_range(self):
+        terms = _concat_terms(u16(byte("a"), byte("b")))
+        assert _decompose_concat(terms, 0x10000) is None
+        assert _decompose_concat(terms, -1) is None
+
+
+def check_model(constraints, model):
+    assert model is not None, "expected a model"
+    for constraint in constraints:
+        assert constraint.holds(model), f"{constraint} violated by {model}"
+
+
+class TestBasicSolving:
+    def test_single_equality(self):
+        constraints = [Constraint("eq", byte("x"), Const(42))]
+        check_model(constraints, Solver().solve(constraints))
+
+    def test_inequality_chain(self):
+        x = byte("x")
+        constraints = [
+            Constraint("gt", x, Const(10)),
+            Constraint("lt", x, Const(13)),
+            Constraint("ne", x, Const(12)),
+        ]
+        model = Solver().solve(constraints)
+        check_model(constraints, model)
+        assert model["x"] == 11
+
+    def test_unsat_by_interval(self):
+        constraints = [Constraint("gt", byte("x"), Const(300))]
+        solver = Solver()
+        assert solver.solve(constraints) is None
+        assert solver.stats.interval_rejections == 1
+
+    def test_contradiction_returns_none(self):
+        x = byte("x")
+        constraints = [
+            Constraint("eq", x, Const(1)),
+            Constraint("eq", x, Const(2)),
+        ]
+        assert Solver().solve(constraints) is None
+
+    def test_hint_respected_when_consistent(self):
+        x = byte("x")
+        constraints = [Constraint("gt", x, Const(10))]
+        model = Solver().solve(constraints, hint={"x": 200})
+        check_model(constraints, model)
+        assert model["x"] == 200
+
+    def test_empty_constraints_trivially_sat(self):
+        assert Solver().solve([]) == {}
+
+
+class TestStructuredSolving:
+    def test_u16_equality(self):
+        constraints = [
+            Constraint("eq", u16(byte("a"), byte("b")), Const(4096 + 7))
+        ]
+        model = Solver().solve(constraints)
+        check_model(constraints, model)
+        assert model == {"a": 16, "b": 7}
+
+    def test_u32_equality(self):
+        target = 0xDEADBEEF
+        constraints = [
+            Constraint(
+                "eq",
+                u32(byte("a"), byte("b"), byte("c"), byte("d")),
+                Const(target),
+            )
+        ]
+        check_model(constraints, Solver().solve(constraints))
+
+    def test_u16_range(self):
+        expr = u16(byte("a"), byte("b"))
+        constraints = [
+            Constraint("ge", expr, Const(1000)),
+            Constraint("le", expr, Const(1001)),
+        ]
+        check_model(constraints, Solver().solve(constraints))
+
+    def test_masked_equality(self):
+        constraints = [
+            Constraint(
+                "eq", BinOp("and", byte("f"), Const(0x10)), Const(0x10)
+            )
+        ]
+        check_model(constraints, Solver().solve(constraints))
+
+    def test_mask_impossible(self):
+        # (f & 0x0F) == 0x10 can never hold.
+        constraints = [
+            Constraint("eq", BinOp("and", byte("f"), Const(0x0F)), Const(0x10))
+        ]
+        assert Solver().solve(constraints) is None
+
+    def test_affine_inversion(self):
+        expr = BinOp("add", BinOp("mul", byte("x"), Const(3)), Const(5))
+        constraints = [Constraint("eq", expr, Const(3 * 7 + 5))]
+        model = Solver().solve(constraints)
+        check_model(constraints, model)
+        assert model["x"] == 7
+
+    def test_shift_inversion(self):
+        constraints = [
+            Constraint("eq", BinOp("shl", byte("x"), Const(4)), Const(0x50))
+        ]
+        model = Solver().solve(constraints)
+        check_model(constraints, model)
+        assert model["x"] == 5
+
+    def test_xor_inversion(self):
+        constraints = [
+            Constraint("eq", BinOp("xor", byte("x"), Const(0xFF)), Const(0xF0))
+        ]
+        model = Solver().solve(constraints)
+        check_model(constraints, model)
+        assert model["x"] == 0x0F
+
+    def test_multi_constraint_path_condition(self):
+        """A realistic decoder path: type byte, length field, value range."""
+        msg_type = byte("t")
+        len_hi, len_lo = byte("lh"), byte("ll")
+        value = byte("v")
+        constraints = [
+            Constraint("eq", msg_type, Const(2)),
+            Constraint("eq", u16(len_hi, len_lo), Const(37)),
+            Constraint("le", value, Const(32)),
+            Constraint("gt", value, Const(24)),
+        ]
+        check_model(constraints, Solver().solve(constraints))
+
+    def test_variables_across_constraints(self):
+        x, y = byte("x"), byte("y")
+        constraints = [
+            Constraint("eq", BinOp("add", x, y), Const(100)),
+            Constraint("gt", x, Const(90)),
+        ]
+        check_model(constraints, Solver().solve(constraints))
+
+
+class TestSoundnessProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+                st.sampled_from(["x", "y", "z"]),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_models_always_verified(self, specs, seed):
+        """Whatever the solver returns, it satisfies all constraints."""
+        constraints = [
+            Constraint(op, byte(name), Const(value))
+            for op, name, value in specs
+        ]
+        model = Solver(seed=seed).solve(constraints)
+        if model is not None:
+            for constraint in constraints:
+                assert constraint.holds(model)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_u16_targets_always_solved(self, target, seed):
+        constraints = [
+            Constraint("eq", u16(byte("a"), byte("b")), Const(target))
+        ]
+        model = Solver(seed=seed).solve(constraints)
+        check_model(constraints, model)
+
+
+class TestStats:
+    def test_counters_advance(self):
+        solver = Solver()
+        solver.solve([Constraint("eq", byte("x"), Const(1))])
+        solver.solve([Constraint("gt", byte("x"), Const(999))])
+        assert solver.stats.queries == 2
+        assert solver.stats.sat == 1
+        assert solver.stats.unknown == 1

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Expensive artifacts (the 27-router topology, converged systems) are
+session-scoped where safe; anything a test mutates is function-scoped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import quickstart_system
+from repro.bgp import faults
+from repro.core.live import LiveSystem
+from repro.topo.demo27 import build_demo27
+from repro.topo.gadgets import build_bad_gadget
+
+
+@pytest.fixture
+def live3():
+    """The 3-router line system, not yet started."""
+    return quickstart_system(seed=42)
+
+
+@pytest.fixture
+def converged3(live3):
+    """The 3-router line system, converged."""
+    live3.converge()
+    return live3
+
+
+@pytest.fixture
+def converged3_with_bug():
+    """Converged 3-router system with the community crash bug on r2."""
+    live = quickstart_system(seed=42)
+    router = live.router("r2")
+    router.config = dataclasses.replace(
+        router.config,
+        enabled_bugs=frozenset({faults.BUG_COMMUNITY_CRASH}),
+    )
+    live.converge()
+    return live
+
+
+@pytest.fixture
+def bad_gadget_live():
+    """The BAD GADGET system, freshly built."""
+    configs, links = build_bad_gadget()
+    return LiveSystem.build(configs, links, seed=7)
+
+
+@pytest.fixture(scope="session")
+def demo27_topology():
+    """The canonical 27-router topology (read-only)."""
+    return build_demo27()

@@ -1,0 +1,67 @@
+"""Tests for lightweight node checkpoints."""
+
+from repro.bgp.ip import Prefix
+from repro.bgp.router import BGPRouter
+from repro.core.checkpoint import capture, checkpoint_size
+
+
+class TestCapture:
+    def test_checkpoint_metadata(self, converged3):
+        router = converged3.router("r2")
+        checkpoint = capture(router, converged3.network.sim.now)
+        assert checkpoint.node == "r2"
+        assert checkpoint.taken_at == converged3.network.sim.now
+        assert checkpoint.wall_time_s >= 0
+
+    def test_restore_reproduces_state(self, converged3):
+        router = converged3.router("r2")
+        checkpoint = capture(router, converged3.network.sim.now)
+        clone = BGPRouter(checkpoint.state["config"])
+        clone.attach(converged3.network)
+        checkpoint.restore_into(clone)
+        assert set(clone.loc_rib.prefixes()) == set(router.loc_rib.prefixes())
+        assert clone.established_peers() == router.established_peers()
+
+    def test_checkpoint_isolated_from_live_mutation(self, converged3):
+        """Mutating the router after capture must not affect the
+        checkpoint — the isolation DiCE's exploration depends on."""
+        router = converged3.router("r2")
+        checkpoint = capture(router, 0.0)
+        routes_before = len(checkpoint.state["loc_rib"])
+        # Mutate the live router heavily.
+        from repro.bgp.config import RemoveNetwork
+
+        router.apply_config_change(RemoveNetwork(Prefix("10.2.0.0/16")))
+        for peer in list(router.adj_rib_in):
+            router.adj_rib_in[peer].clear()
+        assert len(checkpoint.state["loc_rib"]) == routes_before
+
+    def test_two_restores_do_not_share_state(self, converged3):
+        router = converged3.router("r2")
+        checkpoint = capture(router, 0.0)
+        clone_a = BGPRouter(checkpoint.state["config"])
+        clone_b = BGPRouter(checkpoint.state["config"])
+        clone_a.attach(converged3.network)
+        clone_b.attach(converged3.network)
+        checkpoint.restore_into(clone_a)
+        checkpoint.restore_into(clone_b)
+        clone_a.adj_rib_in["r1"].clear()
+        assert len(clone_b.adj_rib_in["r1"]) > 0
+
+
+class TestSize:
+    def test_size_positive(self, converged3):
+        checkpoint = capture(converged3.router("r2"), 0.0)
+        assert checkpoint_size(checkpoint) > 0
+
+    def test_size_grows_with_rib(self, converged3):
+        from repro.bgp.config import AddNetwork
+
+        router = converged3.router("r2")
+        small = checkpoint_size(capture(router, 0.0))
+        for index in range(200):
+            router.apply_config_change(
+                AddNetwork(Prefix((10 << 24) | (100 << 16) | (index << 8), 24))
+            )
+        large = checkpoint_size(capture(router, 0.0))
+        assert large > small

@@ -1,0 +1,168 @@
+"""Tests for the per-node explorer."""
+
+import pytest
+
+from repro.checks import default_property_suite
+from repro.core.explorer import (
+    ExplorationConfig,
+    Explorer,
+    STRATEGY_GRAMMAR,
+    STRATEGY_RANDOM,
+    summarize_input,
+)
+from repro.core.sharing import SharingRegistry
+
+
+def make_explorer(live):
+    snapshot = live.coordinator.capture("r2")
+    claims = SharingRegistry.from_configs(live.initial_configs)
+    return Explorer(snapshot, default_property_suite(), claims)
+
+
+class TestConfig:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationConfig(node="r2", strategy="psychic")
+
+
+class TestSummarize:
+    def test_valid_update(self, converged3):
+        import random
+
+        from repro.concolic.grammar import UpdateGrammar
+
+        generated = UpdateGrammar(rng=random.Random(1)).generate()
+        summary = summarize_input(generated.data)
+        assert "UpdateMessage" in summary
+
+    def test_malformed(self):
+        assert "malformed" in summarize_input(b"\x00" * 19)
+
+    def test_undecodable_never_raises(self):
+        assert summarize_input(b"")
+
+
+class TestExplore:
+    def test_basic_exploration(self, converged3):
+        explorer = make_explorer(converged3)
+        report = explorer.explore(
+            ExplorationConfig(node="r2", inputs=15, seed=1)
+        )
+        assert report.executions == 15
+        assert report.unique_paths > 1
+        assert report.branch_coverage > 10
+        assert report.clones_created >= 15
+        assert report.skipped_reason is None
+
+    def test_exploration_never_touches_live(self, converged3):
+        state_before = {
+            name: converged3.router(name).export_state()
+            for name in ("r1", "r2", "r3")
+        }
+        crash_before = sum(r.crash_count for r in converged3.routers())
+        explorer = make_explorer(converged3)
+        explorer.explore(ExplorationConfig(node="r2", inputs=20, seed=2))
+        for name in ("r1", "r2", "r3"):
+            router = converged3.router(name)
+            assert set(router.loc_rib.prefixes()) == {
+                route.prefix
+                for _, route in state_before[name]["loc_rib"]
+            }
+        assert sum(r.crash_count for r in converged3.routers()) == crash_before
+
+    def test_strategies_all_run(self, converged3):
+        for strategy in (STRATEGY_RANDOM, STRATEGY_GRAMMAR):
+            explorer = make_explorer(converged3)
+            report = explorer.explore(
+                ExplorationConfig(
+                    node="r2", inputs=8, strategy=strategy, seed=3
+                )
+            )
+            assert report.executions == 8
+            assert report.strategy == strategy
+
+    def test_unestablished_node_skipped(self, live3):
+        # Snapshot before any session comes up.
+        snapshot = live3.coordinator.capture_atomic("r2")
+        claims = SharingRegistry.from_configs(live3.initial_configs)
+        explorer = Explorer(snapshot, default_property_suite(), claims)
+        report = explorer.explore(ExplorationConfig(node="r2", inputs=5))
+        assert report.executions == 0
+        assert report.skipped_reason is not None
+
+    def test_explicit_peer_honored(self, converged3):
+        explorer = make_explorer(converged3)
+        report = explorer.explore(
+            ExplorationConfig(node="r2", inputs=5, peer="r3", seed=4)
+        )
+        assert report.executions == 5
+
+    def test_unknown_peer_skips(self, converged3):
+        explorer = make_explorer(converged3)
+        report = explorer.explore(
+            ExplorationConfig(node="r2", inputs=5, peer="ghost", seed=4)
+        )
+        assert report.skipped_reason is not None
+
+    def test_crash_bug_found_and_reported(self, converged3_with_bug):
+        explorer = make_explorer(converged3_with_bug)
+        report = explorer.explore(
+            ExplorationConfig(node="r2", inputs=250, seed=11,
+                              grammar_seeds=5)
+        )
+        classes = {v.fault_class for v, _ in report.violations}
+        assert "programming_error" in classes
+
+
+class TestSelectionExploration:
+    def test_selection_needs_multiple_candidates(self, converged3):
+        explorer = make_explorer(converged3)
+        # In the line topology r2 has single-candidate prefixes only.
+        report = explorer.explore_selection("r2", seed=1)
+        assert report.skipped_reason is not None
+
+    def test_selection_explores_outcomes(self):
+        """A node with two candidate routes must see >= 2 outcomes."""
+        from repro import (
+            IPv4Address,
+            LiveSystem,
+            NeighborConfig,
+            Prefix,
+            RouterConfig,
+        )
+        from repro.net.link import LinkProfile
+
+        # Diamond: d originates, a and b both advertise to c.
+        prefix = Prefix("10.77.0.0/16")
+        configs = [
+            RouterConfig(name="d", local_as=100,
+                         router_id=IPv4Address("1.0.0.1"),
+                         networks=(prefix,),
+                         neighbors=(NeighborConfig(peer="a", peer_as=200),
+                                    NeighborConfig(peer="b", peer_as=300))),
+            RouterConfig(name="a", local_as=200,
+                         router_id=IPv4Address("1.0.0.2"),
+                         neighbors=(NeighborConfig(peer="d", peer_as=100),
+                                    NeighborConfig(peer="c", peer_as=400))),
+            RouterConfig(name="b", local_as=300,
+                         router_id=IPv4Address("1.0.0.3"),
+                         neighbors=(NeighborConfig(peer="d", peer_as=100),
+                                    NeighborConfig(peer="c", peer_as=400))),
+            RouterConfig(name="c", local_as=400,
+                         router_id=IPv4Address("1.0.0.4"),
+                         neighbors=(NeighborConfig(peer="a", peer_as=200),
+                                    NeighborConfig(peer="b", peer_as=300))),
+        ]
+        links = [
+            ("d", "a", LinkProfile.lan()), ("d", "b", LinkProfile.lan()),
+            ("a", "c", LinkProfile.lan()), ("b", "c", LinkProfile.lan()),
+        ]
+        live = LiveSystem.build(configs, links, seed=5)
+        live.converge()
+        snapshot = live.coordinator.capture("c")
+        claims = SharingRegistry.from_configs(live.initial_configs)
+        explorer = Explorer(snapshot, default_property_suite(), claims)
+        report = explorer.explore_selection("c", max_executions=30, seed=2)
+        assert report.candidates == 2
+        assert report.distinct_outcomes >= 2
+        assert set(report.outcomes) <= {"a", "b", "none"}

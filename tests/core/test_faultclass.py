@@ -1,0 +1,54 @@
+"""Tests for the fault taxonomy."""
+
+import pytest
+
+from repro.core.faultclass import (
+    FAULT_OPERATOR_MISTAKE,
+    FAULT_POLICY_CONFLICT,
+    FAULT_PROGRAMMING_ERROR,
+    FaultReport,
+    first_per_class,
+)
+
+
+def report(fault_class=FAULT_PROGRAMMING_ERROR, wall=1.0, **kwargs):
+    fields = dict(
+        fault_class=fault_class,
+        property_name="p",
+        node="r1",
+        detected_at=0.0,
+        wall_time_s=wall,
+    )
+    fields.update(kwargs)
+    return FaultReport(**fields)
+
+
+class TestFaultReport:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            report(fault_class="cosmic_ray")
+
+    def test_headline_mentions_class_and_node(self):
+        text = report(input_summary="UpdateMessage(...)").headline()
+        assert FAULT_PROGRAMMING_ERROR in text
+        assert "r1" in text
+        assert "UpdateMessage" in text
+
+    def test_headline_without_input(self):
+        assert "n/a" in report().headline()
+
+
+class TestFirstPerClass:
+    def test_earliest_wins(self):
+        reports = [
+            report(wall=5.0),
+            report(wall=2.0),
+            report(fault_class=FAULT_POLICY_CONFLICT, wall=9.0),
+        ]
+        first = first_per_class(reports)
+        assert first[FAULT_PROGRAMMING_ERROR].wall_time_s == 2.0
+        assert first[FAULT_POLICY_CONFLICT].wall_time_s == 9.0
+        assert FAULT_OPERATOR_MISTAKE not in first
+
+    def test_empty(self):
+        assert first_per_class([]) == {}

@@ -1,0 +1,62 @@
+"""Tests for the live-system wrapper."""
+
+from repro.bgp.config import AddNetwork, RemoveNetwork
+from repro.bgp.ip import Prefix
+
+
+class TestBuildAndRun:
+    def test_routers_accessor(self, live3):
+        assert [router.name for router in live3.routers()] == [
+            "r1", "r2", "r3",
+        ]
+
+    def test_converge_reaches_fixpoint(self, live3):
+        when = live3.converge()
+        assert when > 0
+        assert live3.total_routes() == 9  # 3 prefixes x 3 routers
+
+    def test_converge_is_idempotent(self, converged3):
+        routes = converged3.total_routes()
+        converged3.converge()
+        assert converged3.total_routes() == routes
+
+    def test_originated_prefixes(self, live3):
+        assert live3.originated_prefixes() == [
+            Prefix("10.1.0.0/16"), Prefix("10.2.0.0/16"),
+            Prefix("10.3.0.0/16"),
+        ]
+
+
+class TestOperatorActions:
+    def test_apply_change_updates_configs_view(self, converged3):
+        new_prefix = Prefix("10.50.0.0/16")
+        converged3.apply_change("r1", AddNetwork(new_prefix))
+        config = next(c for c in converged3.configs if c.name == "r1")
+        assert new_prefix in config.networks
+        # The trusted baseline must NOT move.
+        initial = next(
+            c for c in converged3.initial_configs if c.name == "r1"
+        )
+        assert new_prefix not in initial.networks
+
+    def test_scheduled_change_fires(self, converged3):
+        new_prefix = Prefix("10.51.0.0/16")
+        at = converged3.network.sim.now + 5.0
+        converged3.schedule_change(at, "r2", AddNetwork(new_prefix))
+        converged3.run(until=at + 10)
+        assert converged3.router("r1").loc_rib.get(new_prefix) is not None
+
+    def test_churn_flips_prefix(self, converged3):
+        prefix = Prefix("10.52.0.0/16")
+        start = converged3.network.sim.now
+        converged3.enable_churn("r1", prefix, period=5.0,
+                                start_at=start + 1.0)
+        converged3.run(until=start + 20)
+        assert converged3.churn_events >= 3
+
+    def test_remove_network_withdraws(self, converged3):
+        converged3.apply_change("r3", RemoveNetwork(Prefix("10.3.0.0/16")))
+        converged3.converge()
+        assert converged3.router("r1").loc_rib.get(
+            Prefix("10.3.0.0/16")
+        ) is None

@@ -1,0 +1,108 @@
+"""Tests for the campaign orchestrator."""
+
+import pytest
+
+from repro.checks import default_property_suite
+from repro.core.orchestrator import DiceOrchestrator, OrchestratorConfig
+
+
+def make_orchestrator(live):
+    return DiceOrchestrator(live, default_property_suite())
+
+
+class TestCampaign:
+    def test_cycle_visits_every_node(self, converged3):
+        dice = make_orchestrator(converged3)
+        result = dice.run_campaign(
+            OrchestratorConfig(inputs_per_node=5, cycles=1, seed=1)
+        )
+        assert result.snapshots_taken == 3
+        assert {r.node for r in result.node_reports} == {"r1", "r2", "r3"}
+        assert result.inputs_explored == 15
+        assert result.cycles_completed == 1
+
+    def test_explorer_nodes_subset(self, converged3):
+        dice = make_orchestrator(converged3)
+        result = dice.run_campaign(
+            OrchestratorConfig(
+                inputs_per_node=5, explorer_nodes=["r2"], seed=1
+            )
+        )
+        assert result.snapshots_taken == 1
+        assert result.node_reports[0].node == "r2"
+
+    def test_multiple_cycles(self, converged3):
+        dice = make_orchestrator(converged3)
+        result = dice.run_campaign(
+            OrchestratorConfig(
+                inputs_per_node=3, cycles=2, explorer_nodes=["r1"], seed=1
+            )
+        )
+        assert result.snapshots_taken == 2
+        assert result.cycles_completed == 2
+
+    def test_atomic_snapshot_mode(self, converged3):
+        dice = make_orchestrator(converged3)
+        result = dice.run_campaign(
+            OrchestratorConfig(
+                inputs_per_node=3, snapshot_mode="atomic",
+                explorer_nodes=["r2"], seed=1,
+            )
+        )
+        assert result.snapshots_taken == 1
+
+    def test_live_system_advances_between_nodes(self, converged3):
+        before = converged3.network.sim.now
+        dice = make_orchestrator(converged3)
+        dice.run_campaign(
+            OrchestratorConfig(inputs_per_node=2, live_advance=1.0, seed=1)
+        )
+        assert converged3.network.sim.now >= before + 3.0
+
+    def test_empty_node_list_rejected(self, converged3):
+        dice = make_orchestrator(converged3)
+        with pytest.raises(ValueError):
+            dice.run_campaign(OrchestratorConfig(explorer_nodes=[]))
+
+    def test_default_claims_from_initial_configs(self, converged3):
+        from repro.bgp.ip import Prefix
+
+        dice = make_orchestrator(converged3)
+        assert dice.claims.claimed_origins(Prefix("10.1.0.0/16")) == {65001}
+
+    def test_stop_after_first_fault(self, converged3_with_bug):
+        from repro.bgp.config import AddNetwork
+        from repro.bgp.ip import Prefix
+
+        live = converged3_with_bug
+        live.apply_change("r3", AddNetwork(Prefix("10.1.0.0/16")))
+        live.run(until=live.network.sim.now + 5)
+        dice = make_orchestrator(live)
+        result = dice.run_campaign(
+            OrchestratorConfig(
+                inputs_per_node=40, stop_after_first_fault=True, seed=3
+            )
+        )
+        assert result.reports
+        # Stopped early: not every node should have been explored with
+        # the full budget once a fault surfaced at the first nodes.
+        assert len(result.node_reports) <= 3
+
+    def test_fault_report_stamping(self, converged3_with_bug):
+        from repro.bgp.config import AddNetwork
+        from repro.bgp.ip import Prefix
+
+        live = converged3_with_bug
+        live.apply_change("r3", AddNetwork(Prefix("10.1.0.0/16")))
+        live.run(until=live.network.sim.now + 5)
+        dice = make_orchestrator(live)
+        result = dice.run_campaign(
+            OrchestratorConfig(inputs_per_node=30, seed=3)
+        )
+        assert result.reports
+        for report in result.reports:
+            assert report.snapshot_id
+            assert report.wall_time_s > 0
+            assert report.inputs_explored > 0
+        assert result.time_to_detection()
+        assert result.inputs_to_detection()

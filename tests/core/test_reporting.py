@@ -1,0 +1,88 @@
+"""Tests for campaign JSON reporting."""
+
+import json
+
+from repro.core.faultclass import FaultReport
+from repro.core.orchestrator import CampaignResult
+from repro.core.reporting import (
+    campaign_to_dict,
+    campaign_to_json,
+    fault_report_from_dict,
+    fault_report_to_dict,
+    load_fault_reports,
+    save_campaign,
+)
+from repro.core.explorer import NodeExplorationReport
+
+
+def sample_report(**overrides):
+    fields = dict(
+        fault_class="operator_mistake",
+        property_name="origin_authenticity",
+        node="r3",
+        detected_at=12.5,
+        wall_time_s=1.25,
+        input_summary="UpdateMessage(...)",
+        evidence={"prefix": "10.1.0.0/16", "owners": [65001]},
+        snapshot_id="snap-9",
+        inputs_explored=42,
+    )
+    fields.update(overrides)
+    return FaultReport(**fields)
+
+
+def sample_campaign():
+    return CampaignResult(
+        reports=[sample_report()],
+        node_reports=[
+            NodeExplorationReport(
+                node="r3", strategy="concolic", snapshot_id="snap-9",
+                executions=42, unique_paths=40, branch_coverage=120,
+                clones_created=44,
+            )
+        ],
+        snapshots_taken=1,
+        clones_created=44,
+        inputs_explored=42,
+        cycles_completed=1,
+        wall_time_s=3.5,
+    )
+
+
+class TestFaultReportSerialization:
+    def test_roundtrip(self):
+        original = sample_report()
+        data = fault_report_to_dict(original)
+        restored = fault_report_from_dict(data)
+        assert restored.fault_class == original.fault_class
+        assert restored.node == original.node
+        assert restored.evidence["prefix"] == "10.1.0.0/16"
+        assert restored.inputs_explored == 42
+
+    def test_dict_is_json_safe(self):
+        report = sample_report(evidence={"weird": object()})
+        text = json.dumps(fault_report_to_dict(report))
+        assert "weird" in text
+
+
+class TestCampaignSerialization:
+    def test_structure(self):
+        data = campaign_to_dict(sample_campaign())
+        assert data["summary"]["snapshots_taken"] == 1
+        assert data["summary"]["fault_classes_found"] == [
+            "operator_mistake",
+        ]
+        assert data["node_reports"][0]["node"] == "r3"
+        assert len(data["reports"]) == 1
+
+    def test_json_parses(self):
+        parsed = json.loads(campaign_to_json(sample_campaign()))
+        assert parsed["summary"]["inputs_explored"] == 42
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(sample_campaign(), str(path))
+        reports = load_fault_reports(str(path))
+        assert len(reports) == 1
+        assert reports[0].fault_class == "operator_mistake"
+        assert reports[0].evidence["owners"] == [65001]

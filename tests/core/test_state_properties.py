@@ -1,0 +1,134 @@
+"""Property-based tests on state invariants (hypothesis).
+
+These stress the contracts the snapshot machinery silently relies on:
+export/import must be a fixpoint, and policy evaluation must never
+mutate its inputs — under arbitrary route/attribute content, not just
+the fixtures used elsewhere.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.config import NeighborConfig, RouterConfig
+from repro.bgp.ip import IPv4Address, Prefix
+from repro.bgp.policy import Filter
+from repro.bgp.route import SOURCE_EBGP, Route
+from repro.bgp.router import BGPRouter
+
+prefixes = st.builds(
+    lambda network, length: Prefix(
+        network & (0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF),
+        length,
+    ),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=8, max_value=28),
+)
+
+attributes = st.builds(
+    PathAttributes,
+    origin=st.sampled_from([0, 1, 2]),
+    as_path=st.lists(
+        st.integers(min_value=1, max_value=0xFFFE), min_size=1, max_size=5
+    ).map(lambda asns: AsPath.from_sequence(*asns)),
+    next_hop=st.integers(min_value=1, max_value=0xDFFFFFFF).map(IPv4Address),
+    med=st.one_of(st.none(), st.integers(min_value=0, max_value=2**32 - 1)),
+    local_pref=st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
+    communities=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1), max_size=4
+    ).map(tuple),
+)
+
+
+def fresh_router():
+    config = RouterConfig(
+        name="prop",
+        local_as=65001,
+        router_id=IPv4Address("10.0.0.1"),
+        neighbors=(NeighborConfig(peer="peer", peer_as=65002),),
+    )
+    return BGPRouter(config)
+
+
+class TestCheckpointFixpoint:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(prefixes, attributes), max_size=8))
+    def test_export_import_export_is_identity(self, entries):
+        """export -> import -> export reproduces the state exactly."""
+        router = fresh_router()
+        for prefix, attrs in entries:
+            route = Route(
+                prefix=prefix,
+                attributes=attrs,
+                source=SOURCE_EBGP,
+                peer="peer",
+                peer_as=65002,
+            )
+            router.adj_rib_in["peer"].update(route)
+        router.rerun_decision([prefix for prefix, _ in entries])
+        first = router.export_state()
+        clone = BGPRouter(first["config"])
+        clone.import_state(copy.deepcopy(first))
+        second = clone.export_state()
+        assert first["adj_rib_in"] == second["adj_rib_in"]
+        assert first["loc_rib"] == second["loc_rib"]
+        assert first["sessions"] == second["sessions"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(prefixes, attributes), min_size=1, max_size=8))
+    def test_loc_rib_subset_of_candidates(self, entries):
+        """Every selected route is one of the candidates offered."""
+        router = fresh_router()
+        for prefix, attrs in entries:
+            router.adj_rib_in["peer"].update(
+                Route(
+                    prefix=prefix, attributes=attrs, source=SOURCE_EBGP,
+                    peer="peer", peer_as=65002,
+                )
+            )
+        router.rerun_decision([prefix for prefix, _ in entries])
+        for selected in router.loc_rib.routes():
+            stored = router.adj_rib_in["peer"].get(selected.prefix)
+            assert stored is selected
+
+
+class TestPolicyPurity:
+    FILTERS = [
+        "filter f { accept; }",
+        "filter f { reject; }",
+        "filter f { bgp_local_pref = 250; accept; }",
+        "filter f { if bgp_path.len > 3 then reject; accept; }",
+        "filter f { bgp_community.add((65000, 1)); accept; }",
+        "filter f { if net ~ [ 10.0.0.0/8+ ] then { bgp_med = 1; accept; } reject; }",
+    ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        prefixes,
+        attributes,
+        st.sampled_from(range(len(FILTERS))),
+    )
+    def test_evaluate_never_mutates_route(self, prefix, attrs, index):
+        policy = Filter.compile(self.FILTERS[index])
+        route = Route(
+            prefix=prefix, attributes=attrs, source=SOURCE_EBGP,
+            peer="p", peer_as=65002,
+        )
+        snapshot = copy.deepcopy(route.attributes)
+        policy.evaluate(route)
+        assert route.attributes == snapshot
+
+    @settings(max_examples=40, deadline=None)
+    @given(prefixes, attributes, st.sampled_from(range(len(FILTERS))))
+    def test_evaluate_deterministic(self, prefix, attrs, index):
+        policy = Filter.compile(self.FILTERS[index])
+        route = Route(
+            prefix=prefix, attributes=attrs, source=SOURCE_EBGP,
+            peer="p", peer_as=65002,
+        )
+        first = policy.evaluate(route)
+        second = policy.evaluate(route)
+        assert first.accepted == second.accepted
+        assert first.attributes == second.attributes

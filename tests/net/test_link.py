@@ -1,0 +1,116 @@
+"""Tests for the link model."""
+
+import random
+
+import pytest
+
+from repro.net.link import Link, LinkProfile
+
+
+class TestLinkProfile:
+    def test_defaults_valid(self):
+        profile = LinkProfile()
+        assert profile.latency_s > 0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LinkProfile(latency_s=-1)
+
+    def test_loss_must_be_probability(self):
+        with pytest.raises(ValueError):
+            LinkProfile(loss=1.0)
+        with pytest.raises(ValueError):
+            LinkProfile(loss=-0.1)
+
+    def test_bandwidth_positive(self):
+        with pytest.raises(ValueError):
+            LinkProfile(bandwidth_bps=0)
+
+    def test_wan_helper(self):
+        profile = LinkProfile.wan(latency_ms=50, jitter_ms=10, loss=0.01)
+        assert profile.latency_s == pytest.approx(0.05)
+        assert profile.jitter_s == pytest.approx(0.01)
+        assert profile.loss == 0.01
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "a")
+
+    def test_other_endpoint(self):
+        link = Link("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(KeyError):
+            link.other("c")
+
+    def test_delay_includes_latency(self):
+        link = Link("a", "b", LinkProfile(latency_s=0.1))
+        delay = link.delay_for("a", "b", b"x", now=0.0, rng=random.Random(0))
+        assert delay == pytest.approx(0.1)
+
+    def test_jitter_bounded(self):
+        link = Link("a", "b", LinkProfile(latency_s=0.1, jitter_s=0.05))
+        rng = random.Random(1)
+        for _ in range(100):
+            delay = link.delay_for("a", "b", b"x", now=0.0, rng=rng)
+            assert 0.1 <= delay <= 0.15 + 1e-9
+
+    def test_loss_drops_messages(self):
+        link = Link("a", "b", LinkProfile(loss=0.5))
+        rng = random.Random(2)
+        outcomes = [
+            link.delay_for("a", "b", b"x", 0.0, rng) for _ in range(200)
+        ]
+        dropped = sum(1 for outcome in outcomes if outcome is None)
+        assert 50 < dropped < 150
+        assert link.dropped == dropped
+
+    def test_reliable_flag_never_drops(self):
+        link = Link("a", "b", LinkProfile(loss=0.9))
+        rng = random.Random(3)
+        for _ in range(100):
+            delay = link.delay_for("a", "b", b"x", 0.0, rng, reliable=True)
+            assert delay is not None
+
+    def test_down_link_drops_everything(self):
+        link = Link("a", "b")
+        link.set_up(False)
+        assert link.delay_for("a", "b", b"x", 0.0, random.Random(0)) is None
+        link.set_up(True)
+        assert link.delay_for("a", "b", b"x", 0.0, random.Random(0)) is not None
+
+    def test_fifo_per_direction_under_jitter(self):
+        link = Link("a", "b", LinkProfile(latency_s=0.1, jitter_s=0.2))
+        rng = random.Random(4)
+        now = 0.0
+        arrivals = []
+        for _ in range(50):
+            delay = link.delay_for("a", "b", b"x", now, rng)
+            arrivals.append(now + delay)
+            now += 0.01
+        assert arrivals == sorted(arrivals)
+
+    def test_directions_have_independent_fifo_clocks(self):
+        link = Link("a", "b", LinkProfile(latency_s=1.0))
+        rng = random.Random(5)
+        forward = link.delay_for("a", "b", b"x", 0.0, rng)
+        backward = link.delay_for("b", "a", b"x", 0.0, rng)
+        assert forward == pytest.approx(1.0)
+        assert backward == pytest.approx(1.0)
+
+    def test_bandwidth_adds_serialization_delay(self):
+        # 8000 bits/s, 100-byte payload => 0.1 s of serialization.
+        link = Link("a", "b", LinkProfile(latency_s=0.0, bandwidth_bps=8000))
+        delay = link.delay_for("a", "b", b"x" * 100, 0.0, random.Random(0))
+        assert delay == pytest.approx(0.1)
+
+    def test_encoded_payload_size_used(self):
+        class FakeMessage:
+            def encode(self):
+                return b"y" * 1000
+
+        link = Link("a", "b", LinkProfile(latency_s=0.0, bandwidth_bps=8000))
+        delay = link.delay_for("a", "b", FakeMessage(), 0.0, random.Random(0))
+        assert delay == pytest.approx(1.0)

@@ -1,0 +1,239 @@
+"""Tests for the network container."""
+
+import pytest
+
+from repro.net.link import LinkProfile
+from repro.net.network import Network
+from repro.net.node import Process
+
+
+class Echo(Process):
+    """Collects deliveries; replies when asked."""
+
+    def __init__(self, name, reply=False):
+        super().__init__(name)
+        self.inbox = []
+        self.reply = reply
+        self.started = 0
+
+    def start(self):
+        self.started += 1
+
+    def on_message(self, src, payload):
+        self.inbox.append((src, payload))
+        if self.reply:
+            self.send(src, f"ack:{payload}")
+
+
+def two_node_net(seed=0):
+    net = Network(seed=seed)
+    a = net.add_process(Echo("a"))
+    b = net.add_process(Echo("b", reply=True))
+    net.add_link("a", "b", LinkProfile(latency_s=0.1))
+    return net, a, b
+
+
+class TestConstruction:
+    def test_duplicate_process_rejected(self):
+        net = Network()
+        net.add_process(Echo("a"))
+        with pytest.raises(ValueError):
+            net.add_process(Echo("a"))
+
+    def test_link_requires_known_processes(self):
+        net = Network()
+        net.add_process(Echo("a"))
+        with pytest.raises(KeyError):
+            net.add_link("a", "ghost")
+
+    def test_duplicate_link_rejected(self):
+        net, _, _ = two_node_net()
+        with pytest.raises(ValueError):
+            net.add_link("b", "a")
+
+    def test_neighbors_sorted(self):
+        net = Network()
+        for name in ("c", "a", "b"):
+            net.add_process(Echo(name))
+        net.add_link("b", "c")
+        net.add_link("b", "a")
+        assert net.neighbors("b") == ["a", "c"]
+
+    def test_start_hooks_run_once(self):
+        net, a, _ = two_node_net()
+        net.run()
+        net.run()
+        assert a.started == 1
+
+    def test_start_silently_skips_hooks(self):
+        net = Network()
+        a = net.add_process(Echo("a"))
+        net.start_silently()
+        net.run()
+        assert a.started == 0
+
+
+class TestTransport:
+    def test_delivery_with_latency(self):
+        net, _, b = two_node_net()
+        net.start()
+        net.transmit("a", "b", "hello")
+        net.run()
+        assert b.inbox == [("a", "hello")]
+        # b replied, so the final event is the ack at 2x the latency.
+        assert net.sim.now == pytest.approx(0.2)
+
+    def test_reply_roundtrip(self):
+        net, a, _ = two_node_net()
+        net.start()
+        net.transmit("a", "b", "ping")
+        net.run()
+        assert a.inbox == [("b", "ack:ping")]
+
+    def test_transmit_without_link_raises(self):
+        net = Network()
+        net.add_process(Echo("a"))
+        net.add_process(Echo("c"))
+        with pytest.raises(KeyError):
+            net.transmit("a", "c", "x")
+
+    def test_inject_bypasses_links(self):
+        net = Network()
+        b = net.add_process(Echo("b"))
+        net.start()
+        net.inject("phantom", "b", "spoofed", delay=0.5)
+        net.run()
+        assert b.inbox == [("phantom", "spoofed")]
+
+    def test_loss_reported_by_transmit(self):
+        net = Network(seed=1)
+        net.add_process(Echo("a"))
+        net.add_process(Echo("b"))
+        net.add_link("a", "b", LinkProfile(loss=0.99))
+        net.start()
+        results = [net.transmit("a", "b", i) for i in range(50)]
+        assert not all(results)
+
+
+class TestObservation:
+    def test_trace_records_send_and_recv(self):
+        net, _, _ = two_node_net()
+        net.start()
+        net.transmit("a", "b", "x")
+        net.run()
+        assert net.trace.count("send") >= 1
+        assert net.trace.count("recv") >= 1
+
+    def test_delivery_tap_sees_payload(self):
+        net, _, _ = two_node_net()
+        seen = []
+        net.tap_deliveries(lambda s, d, p: seen.append((s, d, p)))
+        net.start()
+        net.transmit("a", "b", "x")
+        net.run()
+        assert ("a", "b", "x") in seen
+
+    def test_interceptor_consumes(self):
+        net, _, b = two_node_net()
+        net.add_interceptor(lambda s, d, p: p == "secret")
+        net.start()
+        net.transmit("a", "b", "secret")
+        net.transmit("a", "b", "public")
+        net.run()
+        assert b.inbox == [("a", "public")]
+
+    def test_interceptor_removal(self):
+        net, _, b = two_node_net()
+        interceptor = lambda s, d, p: True  # noqa: E731
+        net.add_interceptor(interceptor)
+        net.remove_interceptor(interceptor)
+        net.start()
+        net.transmit("a", "b", "x")
+        net.run()
+        assert b.inbox == [("a", "x")]
+
+    def test_in_flight_lists_scheduled_messages(self):
+        net, _, _ = two_node_net()
+        net.start()
+        net.transmit("a", "b", "x")
+        in_flight = net.in_flight()
+        assert len(in_flight) == 1
+        assert in_flight[0].src == "a"
+        assert in_flight[0].payload == "x"
+        net.run()
+        assert net.in_flight() == []
+
+    def test_quiescent(self):
+        net, _, _ = two_node_net()
+        net.start()
+        assert net.quiescent()
+        net.transmit("a", "b", "x")
+        assert not net.quiescent()
+
+
+class TestTimers:
+    def test_timer_fires(self):
+        class Timed(Process):
+            def __init__(self):
+                super().__init__("t")
+                self.fired = []
+
+            def on_timer(self, name):
+                self.fired.append((name, self.now))
+
+        net = Network()
+        node = net.add_process(Timed())
+        net.start()
+        node.set_timer("x", 2.0)
+        net.run()
+        assert node.fired == [("x", 2.0)]
+
+    def test_timer_rearm_replaces(self):
+        class Timed(Process):
+            def __init__(self):
+                super().__init__("t")
+                self.fired = 0
+
+            def on_timer(self, name):
+                self.fired += 1
+
+        net = Network()
+        node = net.add_process(Timed())
+        net.start()
+        node.set_timer("x", 1.0)
+        node.set_timer("x", 2.0)
+        net.run()
+        assert node.fired == 1
+        assert net.sim.now == pytest.approx(2.0)
+
+    def test_cancel_timer(self):
+        class Timed(Process):
+            def __init__(self):
+                super().__init__("t")
+                self.fired = 0
+
+            def on_timer(self, name):
+                self.fired += 1
+
+        net = Network()
+        node = net.add_process(Timed())
+        net.start()
+        node.set_timer("x", 1.0)
+        assert node.timer_armed("x")
+        node.cancel_timer("x")
+        assert not node.timer_armed("x")
+        net.run()
+        assert node.fired == 0
+
+    def test_timer_state_exported(self):
+        class Timed(Process):
+            def on_timer(self, name):
+                pass
+
+        net = Network()
+        node = net.add_process(Timed("t"))
+        net.start()
+        node.set_timer("x", 5.0)
+        net.run(until=2.0)
+        state = node.export_state()
+        assert state["timers"]["x"] == pytest.approx(3.0)

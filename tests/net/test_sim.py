@@ -1,0 +1,128 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.net.sim import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(4.2, lambda: None)
+        sim.run()
+        assert sim.now == 4.2
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRunBounds:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_until_advances_clock_even_when_idle(self):
+        sim = Simulator()
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=9.0)
+        assert sim.now == 9.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        seen = []
+        for index in range(5):
+            sim.schedule(float(index + 1), lambda i=index: seen.append(i))
+        sim.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_run == 3
+
+
+class TestDeterminism:
+    def test_two_identical_runs_identical_history(self):
+        def run_once():
+            sim = Simulator(seed=9)
+            history = []
+            rng = sim.random.stream("test")
+
+            def tick(n):
+                history.append((round(sim.now, 6), n, rng.random()))
+                if n < 20:
+                    sim.schedule(rng.uniform(0.1, 1.0), lambda: tick(n + 1))
+
+            sim.schedule(0.0, lambda: tick(0))
+            sim.run()
+            return history
+
+        assert run_once() == run_once()

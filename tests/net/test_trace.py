@@ -1,0 +1,54 @@
+"""Tests for the trace recorder."""
+
+from repro.net.trace import TraceRecorder
+
+
+def test_record_and_filter():
+    trace = TraceRecorder()
+    trace.record(1.0, "send", "a", dst="b")
+    trace.record(2.0, "recv", "b", src="a")
+    trace.record(3.0, "send", "b", dst="a")
+    assert trace.count("send") == 2
+    assert len(list(trace.events(kind="send"))) == 2
+    assert len(list(trace.events(node="b"))) == 2
+    assert len(list(trace.events(kind="send", node="b"))) == 1
+
+
+def test_disabled_recorder_is_noop():
+    trace = TraceRecorder(enabled=False)
+    trace.record(1.0, "send", "a")
+    assert len(trace) == 0
+    assert trace.count("send") == 0
+
+
+def test_capacity_evicts_storage_but_keeps_counts():
+    trace = TraceRecorder(capacity=2)
+    for index in range(5):
+        trace.record(float(index), "tick", "a")
+    assert len(trace) == 2
+    assert trace.count("tick") == 5
+
+
+def test_subscriber_called_synchronously():
+    trace = TraceRecorder()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.record(1.0, "send", "a")
+    assert len(seen) == 1
+    assert seen[0].kind == "send"
+
+
+def test_clear_resets_everything():
+    trace = TraceRecorder()
+    trace.record(1.0, "send", "a")
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.count("send") == 0
+
+
+def test_event_details_preserved():
+    trace = TraceRecorder()
+    trace.record(1.5, "rib_change", "r1", prefix="10.0.0.0/8", transition="advertise")
+    event = next(trace.events())
+    assert event.time == 1.5
+    assert event.detail["prefix"] == "10.0.0.0/8"

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.topology == "quickstart"
+        assert args.inputs == 20
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--topology", "atlantis"])
+
+
+class TestCampaignCommand:
+    def test_healthy_campaign_exit_zero(self, capsys):
+        code = main([
+            "campaign", "--topology", "quickstart", "--inputs", "4",
+            "--nodes", "r2", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DiCE campaign summary" in out
+        assert "no faults detected" in out
+
+    def test_report_written(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code = main([
+            "campaign", "--topology", "quickstart", "--inputs", "3",
+            "--nodes", "r2", "--report", str(path),
+        ])
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["summary"]["snapshots_taken"] == 1
+
+    def test_fail_on_fault_with_bad_gadget(self, capsys):
+        code = main([
+            "campaign", "--topology", "bad-gadget", "--inputs", "3",
+            "--nodes", "r1", "--horizon", "15", "--fail-on-fault",
+        ])
+        assert code == 1
+        assert "policy_conflict" in capsys.readouterr().out
+
+
+class TestOfflineCommand:
+    def test_runs_and_reports(self, capsys):
+        code = main(["offline-parser", "--budget", "60"])
+        assert code == 0
+        assert "offline parser test" in capsys.readouterr().out
+
+
+class TestTopologyCommand:
+    def test_demo27_rendering(self, capsys):
+        code = main(["topology", "--topology", "demo27"])
+        assert code == 0
+        assert "27 routers" in capsys.readouterr().out
+
+    def test_untiered_topology_message(self, capsys):
+        code = main(["topology", "--topology", "bad-gadget"])
+        assert code == 0
+        assert "no tiered structure" in capsys.readouterr().out

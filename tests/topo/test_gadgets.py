@@ -1,0 +1,79 @@
+"""Tests for the policy-conflict gadgets."""
+
+from repro.core.live import LiveSystem
+from repro.topo.gadgets import (
+    GADGET_PREFIX,
+    build_bad_gadget,
+    build_disagree,
+    build_good_gadget,
+)
+
+
+def run_gadget(builder, seed=7, until=30.0):
+    configs, links = builder()
+    live = LiveSystem.build(configs, links, seed=seed)
+    live.run(until=until)
+    return live
+
+
+class TestBadGadget:
+    def test_oscillates(self):
+        live = run_gadget(build_bad_gadget)
+        changes = [
+            change
+            for change in live.router("r1").loc_rib.journal()
+            if change.prefix == GADGET_PREFIX
+        ]
+        # Dozens of flaps in 30 simulated seconds, not a handful.
+        assert len(changes) > 20
+
+    def test_oscillation_everywhere_on_the_wheel(self):
+        live = run_gadget(build_bad_gadget)
+        for name in ("r1", "r2", "r3"):
+            changes = live.router(name).loc_rib.changes_total
+            assert changes > 20, name
+
+    def test_never_quiesces(self):
+        live = run_gadget(build_bad_gadget)
+        before = sum(r.loc_rib.changes_total for r in live.routers())
+        live.run(until=live.network.sim.now + 20)
+        after = sum(r.loc_rib.changes_total for r in live.routers())
+        assert after > before
+
+    def test_origin_itself_stable(self):
+        live = run_gadget(build_bad_gadget)
+        assert live.router("d").loc_rib.changes_total == 1
+
+
+class TestGoodGadget:
+    def test_converges(self):
+        live = run_gadget(build_good_gadget)
+        before = sum(r.loc_rib.changes_total for r in live.routers())
+        live.run(until=live.network.sim.now + 20)
+        after = sum(r.loc_rib.changes_total for r in live.routers())
+        assert after == before
+
+    def test_everyone_prefers_direct_path(self):
+        live = run_gadget(build_good_gadget)
+        for name in ("r1", "r2", "r3"):
+            route = live.router(name).loc_rib.get(GADGET_PREFIX)
+            assert route.peer == "d"
+
+
+class TestDisagree:
+    def test_converges_to_a_stable_state(self):
+        live = run_gadget(build_disagree)
+        before = sum(r.loc_rib.changes_total for r in live.routers())
+        live.run(until=live.network.sim.now + 20)
+        after = sum(r.loc_rib.changes_total for r in live.routers())
+        assert after == before
+        assert live.router("x").loc_rib.get(GADGET_PREFIX) is not None
+        assert live.router("y").loc_rib.get(GADGET_PREFIX) is not None
+
+    def test_at_most_one_indirect(self):
+        """x via y and y via x simultaneously would be a loop; stable
+        DISAGREE states have at least one node on its direct path."""
+        live = run_gadget(build_disagree)
+        x_route = live.router("x").loc_rib.get(GADGET_PREFIX)
+        y_route = live.router("y").loc_rib.get(GADGET_PREFIX)
+        assert "d" in (x_route.peer, y_route.peer)

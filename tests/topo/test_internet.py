@@ -1,0 +1,136 @@
+"""Tests for the Internet-like topology generator."""
+
+import pytest
+
+from repro.checks.reachability import convergence_complete
+from repro.core.live import LiveSystem
+from repro.topo.internet import (
+    REL_CUSTOMER,
+    REL_PEER,
+    REL_PROVIDER,
+    TopologyParams,
+    build_internet,
+)
+
+SMALL = TopologyParams(tier1=2, transit=3, stubs=4, seed=11)
+
+
+class TestStructure:
+    def test_node_counts(self):
+        topology = build_internet(SMALL)
+        assert len(topology.configs) == SMALL.total
+        assert len(topology.nodes_in_tier(1)) == 2
+        assert len(topology.nodes_in_tier(2)) == 3
+        assert len(topology.nodes_in_tier(3)) == 4
+
+    def test_tier1_full_mesh_of_peers(self):
+        topology = build_internet(SMALL)
+        tier1 = topology.nodes_in_tier(1)
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1 :]:
+                assert topology.relationships[(a, b)] == REL_PEER
+
+    def test_every_stub_has_a_provider(self):
+        topology = build_internet(SMALL)
+        for stub in topology.nodes_in_tier(3):
+            providers = [
+                other
+                for (node, other), rel in topology.relationships.items()
+                if node == stub and rel == REL_PROVIDER
+            ]
+            assert providers
+
+    def test_relationships_symmetric(self):
+        topology = build_internet(SMALL)
+        inverse = {
+            REL_CUSTOMER: REL_PROVIDER,
+            REL_PROVIDER: REL_CUSTOMER,
+            REL_PEER: REL_PEER,
+        }
+        for (a, b), rel in topology.relationships.items():
+            assert topology.relationships[(b, a)] == inverse[rel]
+
+    def test_unique_asns_and_prefixes(self):
+        topology = build_internet(SMALL)
+        asns = [config.local_as for config in topology.configs]
+        assert len(asns) == len(set(asns))
+        prefixes = [config.networks[0] for config in topology.configs]
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_deterministic_per_seed(self):
+        a = build_internet(SMALL)
+        b = build_internet(SMALL)
+        assert [c.name for c in a.configs] == [c.name for c in b.configs]
+        assert a.relationships == b.relationships
+        different = build_internet(
+            TopologyParams(tier1=2, transit=3, stubs=4, seed=12)
+        )
+        assert a.relationships != different.relationships
+
+    def test_config_for_lookup(self):
+        topology = build_internet(SMALL)
+        assert topology.config_for("t1-1").name == "t1-1"
+        with pytest.raises(KeyError):
+            topology.config_for("nope")
+
+
+class TestPolicies:
+    def test_import_filters_set_relationship_pref(self):
+        """Customer-learned routes must carry LOCAL_PREF 200 after
+        import, peers 100, providers 50 (Gao-Rexford)."""
+        topology = build_internet(SMALL)
+        live = LiveSystem.build(topology.configs, topology.links, seed=1)
+        live.converge(deadline=300)
+        # Find a transit node and inspect a route learned from a stub
+        # customer.
+        for transit in topology.nodes_in_tier(2):
+            router = live.router(transit)
+            for peer, rib in router.adj_rib_in.items():
+                relationship = topology.relationships.get((transit, peer))
+                for route in rib.routes():
+                    expected = {
+                        REL_CUSTOMER: 200, REL_PEER: 100, REL_PROVIDER: 50,
+                    }[relationship]
+                    assert route.attributes.local_pref == expected
+
+    def test_valley_free_export(self):
+        """No route learned from a peer/provider may be exported to
+        another peer/provider — check Adj-RIB-Out contents."""
+        topology = build_internet(SMALL)
+        live = LiveSystem.build(topology.configs, topology.links, seed=1)
+        live.converge(deadline=300)
+        from repro.topo.internet import _REL_COMMUNITY
+
+        peer_tag = _REL_COMMUNITY[REL_PEER]
+        provider_tag = _REL_COMMUNITY[REL_PROVIDER]
+        for name in sorted(live.network.processes):
+            router = live.router(name)
+            for peer, rib_out in router.adj_rib_out.items():
+                relationship = topology.relationships.get((name, peer))
+                if relationship == REL_CUSTOMER:
+                    continue  # everything may go to customers
+                for prefix in rib_out.prefixes():
+                    advertised = rib_out.advertised(prefix)
+                    communities = advertised.attributes.communities
+                    assert peer_tag not in communities, (
+                        f"{name} leaked a peer route to {relationship} {peer}"
+                    )
+                    assert provider_tag not in communities, (
+                        f"{name} leaked a provider route to "
+                        f"{relationship} {peer}"
+                    )
+
+
+class TestConvergence:
+    def test_small_internet_converges_fully(self):
+        topology = build_internet(SMALL)
+        live = LiveSystem.build(topology.configs, topology.links, seed=1)
+        live.converge(deadline=300)
+        assert convergence_complete(live.network)
+
+    def test_all_sessions_established(self):
+        topology = build_internet(SMALL)
+        live = LiveSystem.build(topology.configs, topology.links, seed=1)
+        live.converge(deadline=300)
+        for router in live.routers():
+            assert len(router.established_peers()) == len(router.sessions)

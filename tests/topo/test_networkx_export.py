@@ -1,0 +1,47 @@
+"""Tests for the networkx topology export."""
+
+import networkx as nx
+
+from repro.topo.internet import TopologyParams, build_internet
+
+
+def test_graph_structure_matches():
+    topology = build_internet(TopologyParams(tier1=2, transit=3, stubs=4,
+                                             seed=11))
+    graph = topology.to_networkx()
+    assert graph.number_of_nodes() == len(topology.configs)
+    assert graph.number_of_edges() == len(topology.links)
+
+
+def test_node_attributes():
+    topology = build_internet(TopologyParams(tier1=2, transit=2, stubs=2,
+                                             seed=1))
+    graph = topology.to_networkx()
+    for config in topology.configs:
+        node = graph.nodes[config.name]
+        assert node["asn"] == config.local_as
+        assert node["tier"] == topology.tiers[config.name]
+
+
+def test_edge_attributes():
+    topology = build_internet(TopologyParams(tier1=2, transit=2, stubs=2,
+                                             seed=1))
+    graph = topology.to_networkx()
+    for a, b, data in graph.edges(data=True):
+        assert data["relationship"] in ("customer", "peer", "provider")
+        assert data["latency_ms"] > 0
+
+
+def test_graph_connected():
+    topology = build_internet(TopologyParams(tier1=3, transit=8, stubs=16,
+                                             seed=2711))
+    graph = topology.to_networkx()
+    assert nx.is_connected(graph)
+
+
+def test_diameter_is_internet_like():
+    """Tiered structure keeps the AS-level diameter small."""
+    topology = build_internet(TopologyParams(tier1=3, transit=8, stubs=16,
+                                             seed=2711))
+    graph = topology.to_networkx()
+    assert nx.diameter(graph) <= 6

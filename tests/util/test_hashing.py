@@ -1,0 +1,59 @@
+"""Tests for stable hashing and salted commitments."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.hashing import salted_digest, stable_hash
+
+
+class TestStableHash:
+    def test_int_and_string_disjoint(self):
+        assert stable_hash(1) != stable_hash("1")
+
+    def test_bool_not_int(self):
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_dict_order_independent(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_set_order_independent(self):
+        assert stable_hash({3, 1, 2}) == stable_hash({2, 3, 1})
+
+    def test_nested_structures(self):
+        value = {"routes": [(1, "10.0.0.0"), (2, "10.1.0.0")], "ok": True}
+        assert stable_hash(value) == stable_hash(dict(value))
+
+    def test_tuple_vs_list_equivalent(self):
+        # Both are sequences; canonical form intentionally unifies them.
+        assert stable_hash((1, 2)) == stable_hash([1, 2])
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+    def test_none_supported(self):
+        assert stable_hash(None) == stable_hash(None)
+
+    @given(st.lists(st.integers()))
+    def test_deterministic_for_any_int_list(self, values):
+        assert stable_hash(values) == stable_hash(list(values))
+
+    @given(st.text(), st.text())
+    def test_string_injective_on_samples(self, a, b):
+        if a != b:
+            assert stable_hash(a) != stable_hash(b)
+
+
+class TestSaltedDigest:
+    def test_salt_changes_digest(self):
+        assert salted_digest("x", b"salt1") != salted_digest("x", b"salt2")
+
+    def test_value_changes_digest(self):
+        assert salted_digest("x", b"s") != salted_digest("y", b"s")
+
+    def test_digest_is_32_bytes(self):
+        assert len(salted_digest({"a": 1}, b"s")) == 32
+
+    def test_commitment_reproducible(self):
+        assert salted_digest(42, b"s") == salted_digest(42, b"s")

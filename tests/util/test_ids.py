@@ -1,0 +1,22 @@
+"""Tests for id generation."""
+
+from repro.util.ids import IdGenerator
+
+
+def test_prefix_and_sequence():
+    gen = IdGenerator("snap")
+    assert gen.next() == "snap-1"
+    assert gen.next() == "snap-2"
+
+
+def test_independent_generators():
+    a = IdGenerator("a")
+    b = IdGenerator("b")
+    a.next()
+    assert b.next() == "b-1"
+
+
+def test_next_int_interleaves_with_next():
+    gen = IdGenerator("x")
+    assert gen.next_int() == 1
+    assert gen.next() == "x-2"

@@ -1,0 +1,24 @@
+"""Tests for the stopwatch helper."""
+
+from repro.util.timer import Stopwatch
+
+
+def test_accumulates_laps():
+    watch = Stopwatch()
+    with watch:
+        pass
+    with watch:
+        pass
+    assert len(watch.laps) == 2
+    assert watch.elapsed == sum(watch.laps)
+
+
+def test_mean_lap_empty_is_zero():
+    assert Stopwatch().mean_lap == 0.0
+
+
+def test_mean_lap():
+    watch = Stopwatch()
+    with watch:
+        pass
+    assert watch.mean_lap == watch.elapsed
