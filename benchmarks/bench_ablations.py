@@ -19,6 +19,8 @@ import random
 
 import pytest
 
+import benchlib
+
 from repro.bgp.damping import DampingParams
 from repro.bgp.errors import BGPError
 from repro.bgp.messages import decode_message
@@ -61,6 +63,11 @@ def test_frontier_discipline(benchmark, frontier):
         f"\n  {frontier:<9} paths={result.unique_paths:<4} "
         f"coverage={result.branch_coverage:<4} "
         f"crashes={len(result.crashes)}"
+    )
+    benchlib.record(
+        "ablations",
+        metrics={f"{frontier}_unique_paths": result.unique_paths},
+        config={"budget": 120},
     )
     assert result.unique_paths > 40  # all disciplines explore plenty
 

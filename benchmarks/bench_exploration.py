@@ -22,9 +22,16 @@ Run:  pytest benchmarks/bench_exploration.py --benchmark-only -s
 
 import pytest
 
+import benchlib
+
 from repro import quickstart_system
 from repro.checks import default_property_suite
 from repro.core.explorer import ExplorationConfig, Explorer
+from repro.core.parallel import (
+    ExplorationTask,
+    ParallelCampaignEngine,
+    claims_to_spec,
+)
 from repro.core.sharing import SharingRegistry
 
 BUDGET = 60
@@ -81,8 +88,64 @@ def _print_table_c():
     # coverage at small budgets mildly favours gross mutation, which
     # trips many differently-shaped error checks; reported, not
     # asserted.)
+    benchlib.record(
+        "exploration",
+        metrics={
+            f"{name}_unique_paths": report.unique_paths
+            for name, report in _RESULTS.items()
+        },
+        config={"budget": BUDGET, "workers": benchlib.workers()},
+    )
     assert concolic.unique_paths >= grammar.unique_paths
     assert concolic.unique_paths > random_result.unique_paths
+
+
+def test_strategy_sweep_sharded_across_workers(benchmark):
+    """The three strategies as picklable tasks over one snapshot.
+
+    Threads the suite-wide ``--workers`` knob through the parallel
+    campaign engine: each strategy is an independent
+    :class:`ExplorationTask`, so the sweep itself shards.
+    """
+    live = quickstart_system(seed=5)
+    live.converge()
+    snapshot = live.coordinator.capture("r2")
+    claims = claims_to_spec(
+        SharingRegistry.from_configs(live.initial_configs)
+    )
+    tasks = [
+        ExplorationTask(
+            index=index,
+            cycle=0,
+            node="r2",
+            snapshot=snapshot,
+            suite=default_property_suite(),
+            claims=claims,
+            seed=17,
+            inputs=BUDGET // 2,
+            strategy=strategy,
+            horizon=2.0,
+        )
+        for index, strategy in enumerate(
+            ["concolic", "grammar", "random"]
+        )
+    ]
+    workers = benchlib.workers()
+
+    def sweep():
+        with ParallelCampaignEngine(workers=workers) as engine:
+            return engine.run(tasks)
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert [o.report.strategy for o in outcomes] == [
+        "concolic", "grammar", "random",
+    ]
+    assert all(o.report.executions == BUDGET // 2 for o in outcomes)
+    benchlib.record(
+        "exploration",
+        metrics={"sweep_strategies": len(outcomes)},
+        config={"workers": workers},
+    )
 
 
 def test_online_vs_offline_state_ablation(benchmark):

@@ -12,6 +12,8 @@ Run:  pytest benchmarks/bench_fault_detection.py --benchmark-only -s
 
 import dataclasses
 
+import benchlib
+
 from repro import DiceOrchestrator, OrchestratorConfig, quickstart_system
 from repro.bgp import faults
 from repro.bgp.config import AddNetwork
@@ -58,6 +60,7 @@ def test_detect_programming_error(benchmark):
                 grammar_seeds=5,
                 seed=11,
                 stop_after_first_fault=True,
+                workers=benchlib.workers(),
             )
         )
 
@@ -81,6 +84,7 @@ def test_detect_policy_conflict(benchmark):
                 explorer_nodes=["r1"],
                 seed=4,
                 stop_after_first_fault=True,
+                workers=benchlib.workers(),
             )
         )
 
@@ -104,6 +108,7 @@ def test_detect_operator_mistake(benchmark):
                 explorer_nodes=["r3"],
                 seed=2,
                 stop_after_first_fault=True,
+                workers=benchlib.workers(),
             )
         )
 
@@ -121,3 +126,15 @@ def _print_table_a():
     print(f"{'fault class':<22}{'ttd (s)':>10}{'inputs':>8}{'budget':>8}")
     for fault_class, ttd, itd, budget in _ROWS:
         print(f"{fault_class:<22}{ttd:>10.2f}{itd:>8}{budget:>8}")
+    benchlib.record(
+        "fault_detection",
+        metrics={
+            fault_class: {
+                "time_to_detection_s": round(ttd, 4),
+                "inputs_to_detection": itd,
+                "budget_used": budget,
+            }
+            for fault_class, ttd, itd, budget in _ROWS
+        },
+        config={"workers": benchlib.workers()},
+    )

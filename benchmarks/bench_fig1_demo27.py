@@ -9,6 +9,8 @@ figure's textual equivalent.
 Run:  pytest benchmarks/bench_fig1_demo27.py --benchmark-only -s
 """
 
+import benchlib
+
 from repro.checks import default_property_suite
 from repro.checks.reachability import convergence_complete
 from repro.core.live import LiveSystem
@@ -49,6 +51,7 @@ def test_fig1_exploration_cycle(benchmark):
                 explorer_nodes=nodes,
                 horizon=3.0,
                 seed=27,
+                workers=benchlib.workers(),
             )
         )
 
@@ -57,6 +60,18 @@ def test_fig1_exploration_cycle(benchmark):
     print(render_topology(topology))
     print()
     print(render_campaign(result))
+    benchlib.record(
+        "fig1_demo27",
+        metrics={
+            "inputs_explored": result.inputs_explored,
+            "clones_created": result.clones_created,
+            "cycle_wall_s": round(result.wall_time_s, 3),
+            "solver_cache_hit_rate": round(
+                result.solver_cache_hit_rate(), 4
+            ),
+        },
+        config={"nodes": 27, "workers": benchlib.workers()},
+    )
     assert result.snapshots_taken == 3
     assert 20 <= result.inputs_explored <= 30
     # Healthy topology: exploration must not raise false alarms.

@@ -12,6 +12,8 @@ Run:  pytest benchmarks/bench_fig2_workflow.py --benchmark-only -s
 
 import pytest
 
+import benchlib
+
 from repro.checks import default_property_suite
 from repro.core.explorer import ExplorationConfig, Explorer
 from repro.core.live import LiveSystem, bgp_process_factory
@@ -84,5 +86,14 @@ def test_full_workflow_k_inputs(benchmark, live9):
         )
 
     report = benchmark.pedantic(workflow, rounds=2, iterations=1)
+    benchlib.record(
+        "fig2_workflow",
+        metrics={
+            "k_inputs_wall_s": round(report.wall_time_s, 3),
+            "k_inputs_clones": report.clones_created,
+            "unique_paths": report.unique_paths,
+        },
+        config={"k": 10, "nodes": 9, "workers": benchlib.workers()},
+    )
     assert report.executions == 10
     assert report.clones_created >= 10

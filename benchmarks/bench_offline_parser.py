@@ -9,6 +9,8 @@ quantitative argument for the paper's "localize and focus" insight.
 Run:  pytest benchmarks/bench_offline_parser.py --benchmark-only -s
 """
 
+import benchlib
+
 from repro.core.offline import OfflineParserTester
 
 
@@ -20,6 +22,11 @@ def test_offline_session_throughput(benchmark):
     rate = report.inputs / max(report.duration, 1e-9)
     print(f"\n  {report.inputs} inputs at {rate:.0f} inputs/s")
     print(f"  {report.summary()}")
+    benchlib.record(
+        "offline_parser",
+        metrics={"inputs_per_s": round(rate, 1)},
+        config={"budget": 400, "seed": 5},
+    )
     assert report.crashes == []
     assert report.inputs == 400
 

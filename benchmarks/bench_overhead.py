@@ -13,7 +13,11 @@ Three measurements:
 Run:  pytest benchmarks/bench_overhead.py --benchmark-only -s
 """
 
+import pickle
+
 import pytest
+
+import benchlib
 
 from repro import (
     IPv4Address,
@@ -25,7 +29,6 @@ from repro import (
 from repro.bgp.config import AddNetwork
 from repro.bgp.router import BGPRouter
 from repro.core.checkpoint import capture, checkpoint_size
-from repro.net.link import LinkProfile
 from repro.topo.internet import TopologyParams, build_internet
 
 
@@ -54,6 +57,11 @@ def test_checkpoint_cost_vs_rib_size(benchmark, routes):
     checkpoint = benchmark(lambda: capture(router, 0.0))
     size = checkpoint_size(checkpoint)
     print(f"\n  routes={routes:<6} retained={size / 1024:.0f} KiB")
+    benchlib.record(
+        "overhead",
+        metrics={f"checkpoint_kib_at_{routes}_routes": round(size / 1024, 1)},
+        config={"workers": benchlib.workers()},
+    )
     assert len(checkpoint.state["loc_rib"]) == routes
 
 
@@ -77,6 +85,14 @@ def test_snapshot_latency_vs_size(benchmark, scale):
     print(
         f"\n  nodes={scale.total:<4} cut latency={snapshot.latency * 1000:.1f} ms "
         f"(simulated)"
+    )
+    benchlib.record(
+        "overhead",
+        metrics={
+            f"cut_latency_ms_at_{scale.total}_nodes": round(
+                snapshot.latency * 1000, 2
+            )
+        },
     )
     # Diameter-bound: even the 27-node system closes in well under a
     # second of simulated time (a few link RTTs).
@@ -112,5 +128,48 @@ def test_live_slowdown_with_dice_attached(benchmark):
         f"\n  events without DiCE={baseline_events} "
         f"with DiCE={events_with_dice} (event overhead {overhead:+.1%})"
     )
+    benchlib.record(
+        "overhead",
+        metrics={"live_event_overhead": round(overhead, 4)},
+    )
     # Markers add a bounded, small number of events.
     assert overhead < 0.25
+
+
+def test_task_shipping_overhead(benchmark):
+    """What parallel sharding pays per task: pickling the snapshot,
+    suite and claims both ways.  This bounds the break-even exploration
+    budget for ``--workers`` (ship cost must stay well under one input's
+    exploration cost; see bench_fig2's per-input measurement)."""
+    from repro.checks import default_property_suite
+    from repro.core.parallel import ExplorationTask, claims_to_spec
+    from repro.core.sharing import SharingRegistry
+
+    topology = build_internet(TopologyParams(tier1=2, transit=3, stubs=4,
+                                             seed=5))
+    live = LiveSystem.build(topology.configs, topology.links, seed=6)
+    live.converge(deadline=300)
+    snapshot = live.coordinator.capture(topology.nodes_in_tier(1)[0])
+    task = ExplorationTask(
+        index=0,
+        cycle=0,
+        node=topology.nodes_in_tier(2)[0],
+        snapshot=snapshot,
+        suite=default_property_suite(),
+        claims=claims_to_spec(
+            SharingRegistry.from_configs(live.initial_configs)
+        ),
+        seed=1,
+    )
+
+    def ship_round_trip():
+        return pickle.loads(pickle.dumps(task))
+
+    restored = benchmark(ship_round_trip)
+    wire_bytes = len(pickle.dumps(task))
+    print(f"\n  task wire size: {wire_bytes / 1024:.1f} KiB")
+    benchlib.record(
+        "overhead",
+        metrics={"task_wire_kib": round(wire_bytes / 1024, 1)},
+    )
+    assert restored.snapshot.node_count == snapshot.node_count

@@ -1,0 +1,132 @@
+"""EXP-PARALLEL — campaign wall-clock scaling across worker processes.
+
+Runs the same campaign (same topology, same seed) twice over a 9-node
+Internet-like system: once serially (``workers=1``) and once sharded
+across N worker processes, then reports
+
+* wall-clock speedup (serial campaign time / parallel campaign time);
+* the solver constraint-cache hit rate in each mode;
+* a determinism check: both campaigns must produce identical
+  fault-class sets (the merge is task-ordered, so worker count must not
+  change what DiCE finds).
+
+The exit status is non-zero when the determinism check fails, which is
+what the CI bench-smoke job enforces.
+
+Run:  python benchmarks/bench_parallel_scaling.py --workers 4 --json out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import benchlib
+
+from repro import DiceOrchestrator, LiveSystem, OrchestratorConfig
+from repro.checks import default_property_suite
+from repro.topo.internet import TopologyParams, build_internet
+
+BENCH = "parallel_scaling"
+
+
+def build_live(seed: int) -> LiveSystem:
+    """A converged 9-node system (2 tier-1, 3 transit, 4 stubs)."""
+    topology = build_internet(
+        TopologyParams(tier1=2, transit=3, stubs=4, seed=92)
+    )
+    live = LiveSystem.build(topology.configs, topology.links, seed=seed)
+    live.converge(deadline=300)
+    return live
+
+
+def run_campaign(workers: int, args: argparse.Namespace):
+    """One campaign over a freshly built live system."""
+    live = build_live(args.seed)
+    dice = DiceOrchestrator(live, default_property_suite())
+    return dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=args.inputs,
+            cycles=args.cycles,
+            horizon=args.horizon,
+            seed=args.seed,
+            workers=workers,
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int,
+                        default=os.cpu_count() or 1,
+                        help="parallel worker count (default: CPU count)")
+    parser.add_argument("--inputs", type=int, default=12,
+                        help="exploration inputs per node")
+    parser.add_argument("--cycles", type=int, default=1)
+    parser.add_argument("--horizon", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_parallel_scaling.json here "
+                             "(file or directory)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    workers = max(1, args.workers)
+
+    serial = run_campaign(1, args)
+    parallel = run_campaign(workers, args)
+
+    speedup = serial.wall_time_s / max(parallel.wall_time_s, 1e-9)
+    identical = (
+        serial.fault_classes_found() == parallel.fault_classes_found()
+    )
+    metrics = {
+        "serial_wall_s": round(serial.wall_time_s, 4),
+        "parallel_wall_s": round(parallel.wall_time_s, 4),
+        "speedup": round(speedup, 3),
+        "inputs_explored": parallel.inputs_explored,
+        "serial_cache_hit_rate": round(serial.solver_cache_hit_rate(), 4),
+        "parallel_cache_hit_rate": round(
+            parallel.solver_cache_hit_rate(), 4
+        ),
+        "solver_queries": parallel.solver_queries,
+        "fault_classes": parallel.fault_classes_found(),
+        "fault_classes_identical": identical,
+    }
+    config = {
+        "workers": workers,
+        "inputs_per_node": args.inputs,
+        "cycles": args.cycles,
+        "horizon": args.horizon,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "topology": "internet-9 (2 tier-1 / 3 transit / 4 stubs)",
+    }
+
+    print(f"EXP-PARALLEL — {config['topology']}, "
+          f"{args.inputs} inputs/node x {args.cycles} cycle(s)")
+    print(f"{'mode':<12}{'wall (s)':>10}{'cache hit':>11}{'faults':>8}")
+    print(f"{'serial':<12}{serial.wall_time_s:>10.2f}"
+          f"{serial.solver_cache_hit_rate():>11.1%}"
+          f"{len(serial.reports):>8}")
+    print(f"{f'{workers} workers':<12}{parallel.wall_time_s:>10.2f}"
+          f"{parallel.solver_cache_hit_rate():>11.1%}"
+          f"{len(parallel.reports):>8}")
+    print(f"speedup: {speedup:.2f}x   fault classes identical: "
+          f"{identical}")
+
+    if args.json:
+        path = benchlib.write_payload(args.json, BENCH, metrics, config)
+        print(f"JSON written to {path}")
+    else:
+        print(json.dumps(benchlib.payload(BENCH, metrics, config),
+                         sort_keys=True))
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

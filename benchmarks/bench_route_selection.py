@@ -15,6 +15,8 @@ Run:  pytest benchmarks/bench_route_selection.py --benchmark-only -s
 
 import pytest
 
+import benchlib
+
 from repro import (
     IPv4Address,
     LiveSystem,
@@ -85,6 +87,13 @@ def test_selection_outcomes_explored(benchmark, candidates):
         f"executions={report.executions} "
         f"distinct outcomes={report.distinct_outcomes} "
         f"({', '.join(report.outcomes)})"
+    )
+    benchlib.record(
+        "route_selection",
+        metrics={
+            f"outcomes_at_{candidates}_candidates": report.distinct_outcomes,
+        },
+        config={"seed": 2},
     )
     assert report.candidates == candidates
     # Concrete testing sees 1 outcome; symbolic selection reaches all.

@@ -1,0 +1,93 @@
+"""Shared benchmark plumbing: the machine-readable output schema.
+
+Every benchmark in this directory emits its headline numbers through
+:func:`record`, and the suite's ``conftest.py`` (or a script's ``main``)
+writes one ``BENCH_<name>.json`` per benchmark with a common schema::
+
+    {"bench": <name>, "metrics": {...}, "config": {...}}
+
+so the perf trajectory across PRs is diffable by tooling, not just
+readable in pytest output.  Pass ``--json DIR`` to a benchmark pytest
+run (or a script's ``--json PATH``) to get the files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+# Benchmarks run both under pytest and as plain scripts; make the repo's
+# src layout importable without the PYTHONPATH=src dance in either mode.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+SCHEMA_KEYS = ("bench", "metrics", "config")
+
+_RECORDS: dict[str, dict[str, dict]] = {}
+_WORKERS: int | None = None
+
+
+def configure_workers(workers: int | None) -> None:
+    """Set the suite-wide worker knob (from ``--workers``)."""
+    global _WORKERS
+    _WORKERS = workers
+
+
+def workers(default: int = 1) -> int:
+    """The worker count campaign-facing benchmarks should use."""
+    if _WORKERS is None:
+        return default
+    return max(1, _WORKERS)
+
+
+def record(bench: str, metrics: dict | None = None,
+           config: dict | None = None) -> None:
+    """Merge metrics/config for one benchmark into the session registry."""
+    entry = _RECORDS.setdefault(bench, {"metrics": {}, "config": {}})
+    if metrics:
+        entry["metrics"].update(metrics)
+    if config:
+        entry["config"].update(config)
+
+
+def payload(bench: str, metrics: dict, config: dict) -> dict:
+    """One benchmark result in the common schema."""
+    return {"bench": bench, "metrics": metrics, "config": config}
+
+
+def recorded_payloads() -> list[dict]:
+    """Everything recorded this session, in recording order."""
+    return [
+        payload(bench, entry["metrics"], entry["config"])
+        for bench, entry in _RECORDS.items()
+    ]
+
+
+def write_payload(path: str, bench: str, metrics: dict,
+                  config: dict) -> str:
+    """Write one result; a directory path gets ``BENCH_<name>.json``."""
+    if os.path.isdir(path) or path.endswith(os.sep) or not path.endswith(".json"):
+        os.makedirs(path, exist_ok=True)
+        path = os.path.join(path, f"BENCH_{bench}.json")
+    else:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload(bench, metrics, config), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_all(directory: str) -> list[str]:
+    """Write every recorded benchmark into ``directory``; returns paths."""
+    paths = []
+    for item in recorded_payloads():
+        paths.append(
+            write_payload(directory, item["bench"], item["metrics"],
+                          item["config"])
+        )
+    return paths

@@ -1,0 +1,48 @@
+"""Benchmark-suite pytest options.
+
+* ``--json DIR`` — after the run, write one ``BENCH_<name>.json`` per
+  benchmark that called :func:`benchlib.record`, using the common
+  ``{"bench", "metrics", "config"}`` schema;
+* ``--workers N`` — worker-process knob threaded into campaign-facing
+  benchmarks (default 1, i.e. the serial baseline).
+"""
+
+from __future__ import annotations
+
+import benchlib
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro benchmarks")
+    group.addoption(
+        "--json",
+        action="store",
+        dest="repro_bench_json",
+        default=None,
+        metavar="DIR",
+        help="write BENCH_<name>.json result files into DIR",
+    )
+    group.addoption(
+        "--workers",
+        action="store",
+        dest="repro_bench_workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exploration worker processes for campaign benchmarks",
+    )
+
+
+def pytest_configure(config):
+    benchlib.configure_workers(config.getoption("repro_bench_workers"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    directory = session.config.getoption("repro_bench_json")
+    if not directory:
+        return
+    paths = benchlib.write_all(directory)
+    if paths:
+        print("\nbenchmark JSON written:")
+        for path in paths:
+            print(f"  {path}")

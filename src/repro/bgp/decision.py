@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.bgp.attributes import Origin
-from repro.bgp.route import SOURCE_EBGP, SOURCE_IBGP, Route
+from repro.bgp.route import SOURCE_EBGP, Route
 
 DEFAULT_LOCAL_PREF = 100
 

@@ -77,6 +77,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             explorer_nodes=args.nodes if args.nodes else None,
             horizon=args.horizon,
             seed=args.seed,
+            workers=args.workers,
         )
     )
     print(render_campaign(result))
@@ -123,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--horizon", type=float, default=5.0,
                           help="clone propagation horizon (sim seconds)")
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="exploration worker processes "
+                               "(default: one per CPU; 1 = serial)")
     campaign.add_argument("--report", default=None,
                           help="write JSON report to this path")
     campaign.add_argument("--fail-on-fault", action="store_true",

@@ -67,6 +67,8 @@ class ExplorationResult:
     crashes: list[Execution] = field(default_factory=list)
     solver_queries: int = 0
     solver_sat: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
     divergences: int = 0
     frontier_exhausted: bool = False
     duration: float = 0.0
@@ -181,6 +183,8 @@ class ConcolicEngine:
         result.shape_coverage = len(seen_shapes)
         result.solver_queries = self._solver.stats.queries
         result.solver_sat = self._solver.stats.sat
+        result.solver_cache_hits = self._solver.stats.cache_hits
+        result.solver_cache_misses = self._solver.stats.cache_misses
         return result
 
     def _expand(

@@ -31,7 +31,7 @@ from repro.bgp.attributes import (
     SEGMENT_AS_SEQUENCE,
 )
 from repro.bgp.ip import Prefix
-from repro.bgp.messages import HEADER_SIZE, MARKER, TYPE_UPDATE
+from repro.bgp.messages import MARKER, TYPE_UPDATE
 from repro.concolic.symbolic import SymBytes
 
 

@@ -24,6 +24,15 @@ Strategy, in order of escalation:
 Every model returned is verified against the full constraint set, so a
 non-``None`` result is always sound; ``None`` means "no model found
 within budget" (possibly unsat, possibly just hard).
+
+Exploration re-solves structurally identical systems constantly: the
+same decoder branch negated under different grammar seeds produces the
+same normalized constraint system.  :class:`SolverCache` memoizes both
+outcomes — models (re-verified against the full constraint set on every
+hit, so cached answers stay sound) and failures (keyed by hint as well,
+since a different starting point may still succeed).  Hit/miss counters
+land in :class:`SolverStats` for the EXP-SOLVER and parallel-scaling
+benchmarks.
 """
 
 from __future__ import annotations
@@ -46,6 +55,81 @@ class SolverStats:
     interval_rejections: int = 0
     repair_rounds: int = 0
     random_restarts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of queries answered from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class SolverCache:
+    """Memoized normalized-constraint-system → model / unsat lookups.
+
+    The key is the sorted tuple of constraint renderings — ``repr`` on
+    the expression AST is deterministic and canonical, and sorting makes
+    the key order-insensitive (a constraint system is a conjunction).
+
+    Models are cached unconditionally: the caller re-verifies them
+    against the full constraint set, so a stale or colliding entry can
+    only cost a miss, never an unsound answer.  Failures are cached per
+    ``(system, hint, search budget)``: a failed search says nothing
+    about what a different starting point or a bigger budget would
+    find, so a low-budget solver can never suppress a full-budget one
+    sharing its cache.  Seeds are deliberately *not* part of the key —
+    the orchestrator re-derives solver seeds every cycle, and keying on
+    them would forfeit every cross-cycle hit.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self._max_entries = max_entries
+        self._models: dict[tuple[str, ...], dict[str, int]] = {}
+        # Dict-as-ordered-set: FIFO eviction stays deterministic across
+        # processes (set.pop order depends on randomized string hashes).
+        self._failures: dict[tuple, None] = {}
+
+    @staticmethod
+    def key(constraints: list[Constraint]) -> tuple[str, ...]:
+        """The normalized cache key for one constraint system."""
+        return tuple(sorted(repr(constraint) for constraint in constraints))
+
+    @staticmethod
+    def _hint_key(hint: dict[str, int] | None) -> tuple:
+        return tuple(sorted(hint.items())) if hint else ()
+
+    def lookup_model(self, key: tuple[str, ...]) -> dict[str, int] | None:
+        """A previously found model for this system, if any."""
+        return self._models.get(key)
+
+    def is_failure(self, key: tuple[str, ...],
+                   hint: dict[str, int] | None,
+                   budget: tuple[int, ...] = ()) -> bool:
+        """True when this exact (system, hint, budget) query failed."""
+        return (key, self._hint_key(hint), budget) in self._failures
+
+    @property
+    def models_cached(self) -> int:
+        """Number of cached satisfiable systems."""
+        return len(self._models)
+
+    def store_model(self, key: tuple[str, ...],
+                    model: dict[str, int]) -> None:
+        """Remember a verified model for this system."""
+        if len(self._models) >= self._max_entries:
+            self._models.pop(next(iter(self._models)))
+        self._models[key] = dict(model)
+
+    def store_failure(self, key: tuple[str, ...],
+                      hint: dict[str, int] | None,
+                      budget: tuple[int, ...] = ()) -> None:
+        """Remember that this (system, hint, budget) found no model."""
+        if len(self._failures) >= self._max_entries:
+            self._failures.pop(next(iter(self._failures)))
+        self._failures[(key, self._hint_key(hint), budget)] = None
+
+    def __len__(self) -> int:
+        return len(self._models) + len(self._failures)
 
 
 @dataclass
@@ -200,11 +284,21 @@ class Solver:
     """See module docstring."""
 
     def __init__(self, seed: int = 0, max_repair_rounds: int = 200,
-                 max_restarts: int = 40):
+                 max_restarts: int = 40, enable_cache: bool = True,
+                 cache: SolverCache | None = None):
         self._rng = random.Random(seed)
         self._max_repair_rounds = max_repair_rounds
         self._max_restarts = max_restarts
+        self._cache = cache if cache is not None else (
+            SolverCache() if enable_cache else None
+        )
+        self._budget_key = (max_repair_rounds, max_restarts)
         self.stats = SolverStats()
+
+    @property
+    def cache(self) -> SolverCache | None:
+        """The memoization cache, when enabled."""
+        return self._cache
 
     # -- public API --
 
@@ -215,11 +309,26 @@ class Solver:
     ) -> dict[str, int] | None:
         """Find a verified model, starting near ``hint`` when given."""
         self.stats.queries += 1
+        key: tuple[str, ...] | None = None
+        if self._cache is not None:
+            key = self._cache.key(constraints)
+            cached = self._cache.lookup_model(key)
+            if cached is not None and self._verifies(constraints, cached):
+                self.stats.cache_hits += 1
+                self.stats.sat += 1
+                return dict(cached)
+            if self._cache.is_failure(key, hint, self._budget_key):
+                self.stats.cache_hits += 1
+                self.stats.unknown += 1
+                return None
+            self.stats.cache_misses += 1
         problem = _Problem(list(constraints))
         for constraint in problem.constraints:
             if not _interval_feasible(constraint):
                 self.stats.interval_rejections += 1
                 self.stats.unknown += 1
+                if key is not None:
+                    self._cache.store_failure(key, hint, self._budget_key)
                 return None
         assignment = self._initial_assignment(problem, hint)
         model = self._repair(problem, assignment)
@@ -227,11 +336,26 @@ class Solver:
             model = self._random_search(problem, hint)
         if model is None:
             self.stats.unknown += 1
+            if key is not None:
+                self._cache.store_failure(key, hint, self._budget_key)
             return None
         self.stats.sat += 1
+        if key is not None:
+            self._cache.store_model(key, model)
         return model
 
     # -- internals --
+
+    @staticmethod
+    def _verifies(constraints: list[Constraint],
+                  model: dict[str, int]) -> bool:
+        """Soundness gate for cache hits: the model must satisfy the
+        *current* constraint set (a key collision or an entry missing a
+        variable downgrades to a miss, never to a wrong answer)."""
+        try:
+            return all(constraint.holds(model) for constraint in constraints)
+        except KeyError:
+            return False
 
     def _initial_assignment(
         self, problem: _Problem, hint: dict[str, int] | None

@@ -16,7 +16,8 @@ The pieces map one-to-one onto Figure 2 of the paper:
    (:mod:`faultclass`).
 
 :mod:`live` wraps a network of BGP routers as "the deployed system"
-DiCE runs alongside.
+DiCE runs alongside.  :mod:`parallel` shards step 3's independent
+node-exploration sessions across a process pool.
 """
 
 from repro.core.checkpoint import NodeCheckpoint, checkpoint_size
@@ -31,6 +32,13 @@ from repro.core.properties import CheckContext, Property, Violation
 from repro.core.sharing import SharingEndpoint, SharingRegistry
 from repro.core.explorer import ExplorationConfig, Explorer, NodeExplorationReport
 from repro.core.orchestrator import CampaignResult, DiceOrchestrator, OrchestratorConfig
+from repro.core.parallel import (
+    ExplorationTask,
+    ParallelCampaignEngine,
+    TaskOutcome,
+    resolve_workers,
+    run_exploration_task,
+)
 from repro.core.live import LiveSystem
 from repro.core.offline import OfflineParserTester, OfflineReport
 from repro.core.reporting import campaign_to_json, save_campaign
@@ -55,6 +63,11 @@ __all__ = [
     "DiceOrchestrator",
     "OrchestratorConfig",
     "CampaignResult",
+    "ExplorationTask",
+    "TaskOutcome",
+    "ParallelCampaignEngine",
+    "run_exploration_task",
+    "resolve_workers",
     "LiveSystem",
     "OfflineParserTester",
     "OfflineReport",

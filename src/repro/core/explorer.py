@@ -31,7 +31,7 @@ from repro.bgp.errors import BGPError
 from repro.bgp.messages import decode_message
 from repro.concolic.engine import ConcolicEngine, RandomByteExplorer
 from repro.concolic.grammar import UpdateGrammar
-from repro.concolic.solver import Solver
+from repro.concolic.solver import Solver, SolverCache
 from repro.concolic.symbolic import SymBytes, SymInt
 from repro.core.live import bgp_process_factory
 from repro.core.properties import CheckContext, PropertySuite, Violation
@@ -80,6 +80,10 @@ class NodeExplorationReport:
     crashes: int = 0
     wall_time_s: float = 0.0
     skipped_reason: str | None = None
+    solver_queries: int = 0
+    solver_sat: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
 
     @property
     def found_fault(self) -> bool:
@@ -121,12 +125,19 @@ class Explorer:
         suite: PropertySuite,
         claims: SharingRegistry,
         process_factory=bgp_process_factory,
+        solver_cache: SolverCache | None = None,
     ):
         self._snapshot = snapshot
         self._suite = suite
         self._claims = claims
         self._factory = process_factory
         self._clone_counter = 0
+        # Shared across this explorer's sessions; the orchestrator hands
+        # in a per-node cache so repeated cycles over similar snapshots
+        # skip re-solving identical path-condition systems.
+        self.solver_cache = (
+            solver_cache if solver_cache is not None else SolverCache()
+        )
 
     # -- clone plumbing --
 
@@ -185,7 +196,8 @@ class Explorer:
         if config.strategy == STRATEGY_CONCOLIC:
             engine = ConcolicEngine(
                 program,
-                solver=Solver(seed=derive_seed(config.seed, "solver")),
+                solver=Solver(seed=derive_seed(config.seed, "solver"),
+                              cache=self.solver_cache),
                 max_executions=config.inputs,
                 max_branches_per_run=config.max_branches_per_run,
             )
@@ -211,6 +223,10 @@ class Explorer:
         report.shape_coverage = result.shape_coverage
         report.crashes = len(result.crashes)
         report.clones_created = self._clone_counter
+        report.solver_queries = result.solver_queries
+        report.solver_sat = result.solver_sat
+        report.solver_cache_hits = result.solver_cache_hits
+        report.solver_cache_misses = result.solver_cache_misses
         report.wall_time_s = time.perf_counter() - started
         return report
 
@@ -410,7 +426,8 @@ class Explorer:
         seed_input = SymBytes.mark_all(bytes(initial), prefix="lp")
         engine = ConcolicEngine(
             program,
-            solver=Solver(seed=derive_seed(seed, "selection-solver")),
+            solver=Solver(seed=derive_seed(seed, "selection-solver"),
+                          cache=self.solver_cache),
             max_executions=max_executions,
         )
         result = engine.explore([seed_input])

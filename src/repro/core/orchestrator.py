@@ -13,6 +13,13 @@ A campaign repeats cycles of:
 Violations become :class:`~repro.core.faultclass.FaultReport` objects
 stamped with wall-clock time since campaign start — the EXP-FAULTS
 time-to-detection measurements fall straight out of a campaign run.
+
+Exploration sessions are independent across nodes, so campaigns shard
+them over a process pool when ``OrchestratorConfig.workers`` exceeds
+one (see :mod:`repro.core.parallel`).  Snapshots are still captured
+serially in the main process — the live system is singular — and the
+merge is performed in deterministic task order, so a campaign's fault
+reports do not depend on the worker count.
 """
 
 from __future__ import annotations
@@ -26,8 +33,15 @@ from repro.core.explorer import (
     NodeExplorationReport,
     STRATEGY_CONCOLIC,
 )
+from repro.concolic.solver import SolverCache
 from repro.core.faultclass import FaultReport, first_per_class
 from repro.core.live import LiveSystem, bgp_process_factory
+from repro.core.parallel import (
+    ExplorationTask,
+    ParallelCampaignEngine,
+    claims_to_spec,
+    resolve_workers,
+)
 from repro.core.properties import PropertySuite
 from repro.core.sharing import SharingRegistry
 from repro.util.rng import derive_seed
@@ -49,6 +63,9 @@ class OrchestratorConfig:
     # Simulated seconds the *live* system advances between node
     # explorations, so DiCE observably runs alongside a moving system.
     live_advance: float = 0.5
+    # Exploration processes: 1 = in-process serial (the default, and
+    # what tests compare against), None = one worker per CPU.
+    workers: int | None = 1
 
 
 @dataclass
@@ -62,6 +79,10 @@ class CampaignResult:
     inputs_explored: int = 0
     cycles_completed: int = 0
     wall_time_s: float = 0.0
+    workers: int = 1
+    solver_queries: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
 
     def time_to_detection(self) -> dict[str, float]:
         """Wall-clock seconds to the first report of each fault class."""
@@ -80,6 +101,11 @@ class CampaignResult:
     def fault_classes_found(self) -> list[str]:
         """Distinct fault classes among the reports."""
         return sorted({report.fault_class for report in self.reports})
+
+    def solver_cache_hit_rate(self) -> float:
+        """Fraction of solver queries answered from the constraint cache."""
+        total = self.solver_cache_hits + self.solver_cache_misses
+        return self.solver_cache_hits / total if total else 0.0
 
 
 class DiceOrchestrator:
@@ -123,10 +149,7 @@ class DiceOrchestrator:
         state.
         """
         started = time.perf_counter()
-        if snapshot_mode == "atomic":
-            snapshot = self._live.coordinator.capture_atomic(node)
-        else:
-            snapshot = self._live.coordinator.capture(node)
+        snapshot = self._capture(node, snapshot_mode)
         explorer = Explorer(
             snapshot, self._suite, self._claims, process_factory=self._factory
         )
@@ -151,8 +174,36 @@ class DiceOrchestrator:
 
     def run_campaign(self, config: OrchestratorConfig) -> CampaignResult:
         """Run the configured number of cycles; see module docstring."""
+        workers = resolve_workers(config.workers)
+        if workers > 1:
+            return self._run_campaign_parallel(config, workers)
         started = time.perf_counter()
-        result = CampaignResult()
+        result = CampaignResult(workers=1)
+        nodes = self._campaign_nodes(config)
+        # Per-node constraint caches, shared across cycles: repeated
+        # cycles over similar snapshots re-record mostly identical path
+        # conditions, which the cache answers without re-solving.
+        caches: dict[str, SolverCache] = {}
+        done = False
+        for cycle in range(config.cycles):
+            for node in nodes:
+                self._explore_node(config, cycle, node, started, result,
+                                   caches)
+                if config.stop_after_first_fault and result.reports:
+                    done = True
+                    break
+                # Let the live system move on (background churn, timers)
+                # so the next snapshot captures genuinely newer state.
+                self._advance_live(config)
+            if done:
+                break
+            result.cycles_completed = cycle + 1
+        result.wall_time_s = time.perf_counter() - started
+        return result
+
+    # -- shared campaign plumbing --
+
+    def _campaign_nodes(self, config: OrchestratorConfig) -> list[str]:
         nodes = (
             list(config.explorer_nodes)
             if config.explorer_nodes is not None
@@ -160,24 +211,56 @@ class DiceOrchestrator:
         )
         if not nodes:
             raise ValueError("no explorer nodes")
-        done = False
-        for cycle in range(config.cycles):
-            for node in nodes:
-                self._explore_node(config, cycle, node, started, result)
-                if config.stop_after_first_fault and result.reports:
-                    done = True
-                    break
-                # Let the live system move on (background churn, timers)
-                # so the next snapshot captures genuinely newer state.
-                if config.live_advance > 0:
-                    self._live.run(
-                        until=self._live.network.sim.now + config.live_advance
-                    )
-            if done:
-                break
-            result.cycles_completed = cycle + 1
-        result.wall_time_s = time.perf_counter() - started
-        return result
+        return nodes
+
+    def _capture(self, node: str, snapshot_mode: str):
+        if snapshot_mode == "atomic":
+            return self._live.coordinator.capture_atomic(node)
+        return self._live.coordinator.capture(node)
+
+    def _advance_live(self, config: OrchestratorConfig) -> None:
+        if config.live_advance > 0:
+            self._live.run(
+                until=self._live.network.sim.now + config.live_advance
+            )
+
+    def _merge_node_report(
+        self,
+        result: CampaignResult,
+        node_report: NodeExplorationReport,
+        snapshot_id: str,
+        detected_at: float,
+        started: float,
+    ) -> None:
+        """Fold one exploration session into the campaign result.
+
+        Both the serial and the parallel paths merge through here, in
+        the same deterministic task order, so per-report counters like
+        ``inputs_explored`` are identical at any worker count.
+        """
+        result.node_reports.append(node_report)
+        result.clones_created += node_report.clones_created
+        result.solver_queries += node_report.solver_queries
+        result.solver_cache_hits += node_report.solver_cache_hits
+        result.solver_cache_misses += node_report.solver_cache_misses
+        inputs_before = result.inputs_explored
+        result.inputs_explored += node_report.executions
+        for violation, input_summary in node_report.violations:
+            result.reports.append(
+                FaultReport(
+                    fault_class=violation.fault_class,
+                    property_name=violation.property_name,
+                    node=violation.node,
+                    detected_at=detected_at,
+                    wall_time_s=time.perf_counter() - started,
+                    input_summary=input_summary,
+                    evidence=violation.evidence,
+                    snapshot_id=snapshot_id,
+                    inputs_explored=inputs_before + node_report.executions,
+                )
+            )
+
+    # -- serial path --
 
     def _explore_node(
         self,
@@ -186,16 +269,16 @@ class DiceOrchestrator:
         node: str,
         started: float,
         result: CampaignResult,
+        caches: dict[str, SolverCache],
     ) -> None:
         # Steps 1-2: choose explorer, establish the consistent snapshot.
-        if config.snapshot_mode == "atomic":
-            snapshot = self._live.coordinator.capture_atomic(node)
-        else:
-            snapshot = self._live.coordinator.capture(node)
+        snapshot = self._capture(node, config.snapshot_mode)
         result.snapshots_taken += 1
         # Steps 3-5: explore inputs over clones.
         explorer = Explorer(
-            snapshot, self._suite, self._claims, process_factory=self._factory
+            snapshot, self._suite, self._claims,
+            process_factory=self._factory,
+            solver_cache=caches.setdefault(node, SolverCache()),
         )
         node_report = explorer.explore(
             ExplorationConfig(
@@ -207,21 +290,82 @@ class DiceOrchestrator:
                 seed=derive_seed(config.seed, f"cycle{cycle}/{node}"),
             )
         )
-        result.node_reports.append(node_report)
-        result.clones_created += node_report.clones_created
-        inputs_before = result.inputs_explored
-        result.inputs_explored += node_report.executions
-        for violation, input_summary in node_report.violations:
-            result.reports.append(
-                FaultReport(
-                    fault_class=violation.fault_class,
-                    property_name=violation.property_name,
-                    node=violation.node,
-                    detected_at=self._live.network.sim.now,
-                    wall_time_s=time.perf_counter() - started,
-                    input_summary=input_summary,
-                    evidence=violation.evidence,
-                    snapshot_id=snapshot.snapshot_id,
-                    inputs_explored=inputs_before + node_report.executions,
-                )
-            )
+        self._merge_node_report(
+            result,
+            node_report,
+            snapshot_id=snapshot.snapshot_id,
+            detected_at=self._live.network.sim.now,
+            started=started,
+        )
+
+    # -- parallel path --
+
+    def _run_campaign_parallel(
+        self, config: OrchestratorConfig, workers: int
+    ) -> CampaignResult:
+        """Capture snapshots serially, shard exploration across workers.
+
+        Exploration never touches the live system (it runs on clones),
+        so capturing a cycle's snapshots up front — with the same
+        ``live_advance`` interleaving the serial loop uses — yields
+        byte-identical snapshots, and per-task seeds derived from
+        (cycle, node) make the exploration itself reproducible.
+        """
+        started = time.perf_counter()
+        result = CampaignResult(workers=workers)
+        nodes = self._campaign_nodes(config)
+        claims_spec = claims_to_spec(self._claims)
+        caches: dict[str, SolverCache] = {}
+        done = False
+        with ParallelCampaignEngine(workers=workers) as engine:
+            for cycle in range(config.cycles):
+                tasks = []
+                for index, node in enumerate(nodes):
+                    snapshot = self._capture(node, config.snapshot_mode)
+                    tasks.append(
+                        ExplorationTask(
+                            index=index,
+                            cycle=cycle,
+                            node=node,
+                            snapshot=snapshot,
+                            suite=self._suite,
+                            claims=claims_spec,
+                            seed=derive_seed(
+                                config.seed, f"cycle{cycle}/{node}"
+                            ),
+                            inputs=config.inputs_per_node,
+                            strategy=config.strategy,
+                            horizon=config.horizon,
+                            grammar_seeds=config.grammar_seeds,
+                            detected_at=self._live.network.sim.now,
+                            process_factory=self._factory,
+                            solver_cache=caches.setdefault(
+                                node, SolverCache()
+                            ),
+                        )
+                    )
+                    self._advance_live(config)
+                # Snapshots are counted per *merged* outcome, not per
+                # capture: with stop_after_first_fault the whole batch
+                # was captured (and explored) eagerly, but the reported
+                # counters must match what the serial loop — which stops
+                # capturing at the first fault — would have produced.
+                for outcome in engine.run(tasks):
+                    result.snapshots_taken += 1
+                    if outcome.solver_cache is not None:
+                        caches[outcome.node] = outcome.solver_cache
+                    self._merge_node_report(
+                        result,
+                        outcome.report,
+                        snapshot_id=outcome.snapshot_id,
+                        detected_at=outcome.detected_at,
+                        started=started,
+                    )
+                    if config.stop_after_first_fault and result.reports:
+                        done = True
+                        break
+                if done:
+                    break
+                result.cycles_completed = cycle + 1
+        result.wall_time_s = time.perf_counter() - started
+        return result

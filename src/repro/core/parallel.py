@@ -1,0 +1,195 @@
+"""Parallel campaign execution: multiprocess clone sharding.
+
+The paper's loop — snapshot, clone, inject one exploration input per
+clone, check properties — is embarrassingly parallel across explorer
+nodes: every node-exploration session runs over its *own* snapshot in
+fully isolated clones and touches nothing of the live system.  This
+module shards those sessions across a :class:`concurrent.futures.
+ProcessPoolExecutor`:
+
+* an :class:`ExplorationTask` is the picklable unit of work — snapshot,
+  node, strategy, per-task derived seed, input batch, property suite and
+  origination claims;
+* :func:`run_exploration_task` is the worker entry point (a module-level
+  function, so it survives both fork and spawn start methods);
+* :class:`ParallelCampaignEngine` dispatches task batches and returns
+  :class:`TaskOutcome` objects **in task order**, regardless of worker
+  completion order, so the orchestrator's merge — and therefore fault
+  reports, seeds, and counters — is identical at any worker count.
+
+Determinism is by construction: each task carries a seed derived via
+:func:`repro.util.rng.derive_seed` from the campaign seed and the task's
+(cycle, node) identity, snapshots are captured serially in the main
+process (the live system is single-threaded state), and only the
+exploration — clone, inject, propagate, check — fans out.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bgp.ip import Prefix
+from repro.concolic.solver import SolverCache
+from repro.core.explorer import (
+    ExplorationConfig,
+    Explorer,
+    NodeExplorationReport,
+    STRATEGY_CONCOLIC,
+)
+from repro.core.live import bgp_process_factory
+from repro.core.properties import PropertySuite
+from repro.core.sharing import SharingRegistry
+from repro.core.snapshot import ProcessFactory, Snapshot
+
+ClaimSpec = tuple[tuple[str, int], ...]
+
+
+def claims_to_spec(claims: SharingRegistry) -> ClaimSpec:
+    """Flatten a registry's origination claims into picklable pairs.
+
+    Endpoints hold per-clone closures and never cross process
+    boundaries; workers rebuild them clone-locally (exactly as the
+    serial explorer does).  Only the claim *data* travels.
+    """
+    return tuple(
+        (str(prefix), asn)
+        for prefix in claims.all_claimed_prefixes()
+        for asn in sorted(claims.claimed_origins(prefix))
+    )
+
+
+def claims_from_spec(spec: ClaimSpec) -> SharingRegistry:
+    """Rebuild a claims-only registry inside a worker."""
+    registry = SharingRegistry()
+    for prefix, asn in spec:
+        registry.claim_origin(asn, Prefix(prefix))
+    return registry
+
+
+@dataclass(frozen=True)
+class ExplorationTask:
+    """One node-exploration session, ready to ship to a worker.
+
+    Everything here must pickle: the snapshot (checkpoints + channel
+    state), the property suite (stateless check objects), the flattened
+    claims, and a module-level process factory.
+    """
+
+    index: int  # position in the campaign's deterministic task order
+    cycle: int
+    node: str
+    snapshot: Snapshot
+    suite: PropertySuite
+    claims: ClaimSpec
+    seed: int  # already derived per (cycle, node)
+    inputs: int = 30
+    strategy: str = STRATEGY_CONCOLIC
+    horizon: float = 5.0
+    grammar_seeds: int = 3
+    max_branches_per_run: int = 20_000
+    detected_at: float = 0.0  # live simulated time at capture
+    process_factory: ProcessFactory = bgp_process_factory
+    # Per-node constraint cache, carried across cycles: the orchestrator
+    # ships the node's cache with the task and stores the updated copy
+    # returned in the outcome.  Cycle N+1 dispatches only after cycle N
+    # merged, so the cache evolves identically at any worker count.
+    solver_cache: SolverCache | None = None
+
+    def exploration_config(self) -> ExplorationConfig:
+        """The per-session config the explorer consumes."""
+        return ExplorationConfig(
+            node=self.node,
+            inputs=self.inputs,
+            strategy=self.strategy,
+            horizon=self.horizon,
+            grammar_seeds=self.grammar_seeds,
+            seed=self.seed,
+            max_branches_per_run=self.max_branches_per_run,
+        )
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced, tagged for deterministic merging."""
+
+    index: int
+    cycle: int
+    node: str
+    snapshot_id: str
+    detected_at: float
+    report: NodeExplorationReport = field(repr=False)
+    solver_cache: SolverCache | None = field(default=None, repr=False)
+
+
+def run_exploration_task(task: ExplorationTask) -> TaskOutcome:
+    """Worker entry point: run one exploration session start to finish."""
+    explorer = Explorer(
+        task.snapshot,
+        task.suite,
+        claims_from_spec(task.claims),
+        process_factory=task.process_factory,
+        solver_cache=task.solver_cache,
+    )
+    report = explorer.explore(task.exploration_config())
+    return TaskOutcome(
+        index=task.index,
+        cycle=task.cycle,
+        node=task.node,
+        snapshot_id=task.snapshot.snapshot_id,
+        detected_at=task.detected_at,
+        report=report,
+        solver_cache=explorer.solver_cache,
+    )
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count knob: None = one per CPU, floor 1."""
+    if workers is None:
+        return os.cpu_count() or 1
+    return max(1, workers)
+
+
+class ParallelCampaignEngine:
+    """Shards exploration tasks across a process pool.
+
+    With ``workers <= 1`` tasks run inline in the calling process — the
+    same code path minus the pool, which keeps single-worker campaigns
+    cheap (no fork, no pickling) and gives benchmarks an apples-to-
+    apples serial baseline.
+
+    Use as a context manager (or call :meth:`close`) so pooled workers
+    are reaped; the pool is created lazily on the first parallel batch.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = resolve_workers(workers)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "ParallelCampaignEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def run(self, tasks: Sequence[ExplorationTask]) -> list[TaskOutcome]:
+        """Execute a batch; outcomes come back sorted by task index."""
+        if self.workers <= 1 or len(tasks) <= 1:
+            outcomes = [run_exploration_task(task) for task in tasks]
+        else:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+            outcomes = list(
+                self._executor.map(run_exploration_task, tasks)
+            )
+        return sorted(outcomes, key=lambda outcome: outcome.index)

@@ -55,6 +55,13 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
             "inputs_explored": result.inputs_explored,
             "cycles_completed": result.cycles_completed,
             "wall_time_s": round(result.wall_time_s, 6),
+            "workers": result.workers,
+            "solver_queries": result.solver_queries,
+            "solver_cache_hits": result.solver_cache_hits,
+            "solver_cache_misses": result.solver_cache_misses,
+            "solver_cache_hit_rate": round(
+                result.solver_cache_hit_rate(), 6
+            ),
             "fault_classes_found": result.fault_classes_found(),
             "time_to_detection": {
                 k: round(v, 6)

@@ -28,7 +28,7 @@ explore "alongside the deployed system but in isolation from it".
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.checkpoint import NodeCheckpoint, capture

@@ -97,6 +97,10 @@ def render_campaign(result: CampaignResult) -> str:
         f"inputs explored     : {result.inputs_explored}",
         f"cycles completed    : {result.cycles_completed}",
         f"wall time           : {result.wall_time_s:.2f}s",
+        f"workers             : {result.workers}",
+        f"solver cache        : {result.solver_cache_hits} hits / "
+        f"{result.solver_cache_misses} misses "
+        f"({result.solver_cache_hit_rate():.0%})",
         _rule(),
         f"{'node':<8}{'strategy':<10}{'execs':>7}{'paths':>7}"
         f"{'coverage':>10}{'faults':>8}",

@@ -1,9 +1,5 @@
 """Router behaviour tests: sessions, update pipeline, policy, export."""
 
-import dataclasses
-
-import pytest
-
 from repro.bgp import faults
 from repro.bgp.attributes import (
     AsPath,

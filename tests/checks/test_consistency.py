@@ -1,7 +1,5 @@
 """Tests for the commitment-based export-consistency check."""
 
-import dataclasses
-
 from repro.checks.consistency import (
     ExportConsistency,
     attach_consistency_checks,
@@ -86,7 +84,6 @@ class TestExportConsistency:
                     assert entry.response_type == "bytes"
 
     def test_fresh_salt_changes_commitment(self, converged3):
-        context = make_context(converged3)
         r2 = converged3.router("r2")
         route = next(r2.adj_rib_in["r1"].routes())
         view = wire_stable_view(route.prefix, route.attributes)

@@ -2,7 +2,6 @@
 
 import random
 
-from repro.bgp.errors import BGPError
 from repro.bgp.ip import Prefix
 from repro.bgp.messages import UpdateMessage, decode_message
 from repro.concolic.grammar import UpdateGrammar

@@ -1,0 +1,127 @@
+"""Tests for the solver's constraint-system memoization cache.
+
+The cache's soundness contract mirrors the solver's: every model it
+hands back is re-verified against the *current* full constraint set, so
+a stale or colliding entry can cost a miss but never a wrong answer.
+"""
+
+from repro.concolic.expr import BinOp, Const, Constraint, Var
+from repro.concolic.solver import Solver, SolverCache
+
+
+def byte(name):
+    return Var(name, 0, 255)
+
+
+def eq(var, value):
+    return Constraint("eq", var, Const(value))
+
+
+def system():
+    """A small satisfiable decoder-style system."""
+    a, b = byte("a"), byte("b")
+    return [
+        Constraint("eq", BinOp("or", BinOp("shl", a, Const(8)), b),
+                   Const(0x1234)),
+        Constraint("le", b, Const(0x80)),
+    ]
+
+
+class TestCacheHits:
+    def test_second_identical_query_hits(self):
+        solver = Solver(seed=1)
+        first = solver.solve(system())
+        assert first is not None
+        second = solver.solve(system())
+        assert second == first
+        assert solver.stats.cache_hits == 1
+        assert solver.stats.cache_misses == 1
+        assert solver.stats.queries == 2
+        assert solver.stats.sat == 2
+
+    def test_key_is_order_insensitive(self):
+        constraints = system()
+        solver = Solver(seed=1)
+        assert solver.solve(constraints) is not None
+        assert solver.solve(list(reversed(constraints))) is not None
+        assert solver.stats.cache_hits == 1
+
+    def test_cached_model_verifies_against_full_constraint_set(self):
+        """The satellite-task contract: a cache hit is re-verified.
+
+        Poison the cache with a model that does NOT satisfy the system;
+        the solver must fall through to a real solve and return a model
+        that satisfies every constraint.
+        """
+        constraints = system()
+        cache = SolverCache()
+        cache.store_model(cache.key(constraints), {"a": 0, "b": 0})
+        solver = Solver(seed=1, cache=cache)
+        model = solver.solve(constraints)
+        assert model is not None
+        assert all(constraint.holds(model) for constraint in constraints)
+        assert solver.stats.cache_hits == 0
+
+    def test_cached_model_missing_variable_is_a_miss(self):
+        constraints = [eq(byte("x"), 7)]
+        cache = SolverCache()
+        cache.store_model(cache.key(constraints), {"y": 7})
+        solver = Solver(seed=1, cache=cache)
+        assert solver.solve(constraints) == {"x": 7}
+
+    def test_failure_cached_per_hint(self):
+        unsat = [eq(byte("x"), 1), eq(byte("x"), 2)]
+        solver = Solver(seed=1, max_repair_rounds=5, max_restarts=2)
+        assert solver.solve(unsat, hint={"x": 1}) is None
+        assert solver.solve(unsat, hint={"x": 1}) is None
+        assert solver.stats.cache_hits == 1
+        # A different hint is a genuinely different search; no hit.
+        assert solver.solve(unsat, hint={"x": 2}) is None
+        assert solver.stats.cache_hits == 1
+
+    def test_failure_cached_per_budget(self):
+        """A low-budget solver's failure must not suppress a bigger
+        solver sharing the cache — its search might succeed."""
+        unsat = [eq(byte("x"), 1), eq(byte("x"), 2)]
+        cache = SolverCache()
+        small = Solver(seed=1, max_repair_rounds=5, max_restarts=2,
+                       cache=cache)
+        assert small.solve(unsat, hint={"x": 1}) is None
+        big = Solver(seed=1, cache=cache)
+        assert big.solve(unsat, hint={"x": 1}) is None
+        # The big solver searched for itself: miss, not a cached hit.
+        assert big.stats.cache_hits == 0
+        assert big.stats.cache_misses == 1
+
+    def test_cache_shareable_across_solvers(self):
+        cache = SolverCache()
+        first = Solver(seed=1, cache=cache)
+        model = first.solve(system())
+        assert model is not None
+        second = Solver(seed=99, cache=cache)
+        assert second.solve(system()) == model
+        assert second.stats.cache_hits == 1
+
+
+class TestCacheControls:
+    def test_disabled_cache_never_counts(self):
+        solver = Solver(seed=1, enable_cache=False)
+        assert solver.cache is None
+        assert solver.solve(system()) is not None
+        assert solver.solve(system()) is not None
+        assert solver.stats.cache_hits == 0
+        assert solver.stats.cache_misses == 0
+
+    def test_eviction_bounds_entries(self):
+        cache = SolverCache(max_entries=4)
+        solver = Solver(seed=1, cache=cache)
+        for value in range(10):
+            assert solver.solve([eq(byte("x"), value)]) == {"x": value}
+        assert cache.models_cached <= 4
+
+    def test_hit_rate(self):
+        solver = Solver(seed=1)
+        assert solver.stats.cache_hit_rate() == 0.0
+        solver.solve(system())
+        solver.solve(system())
+        assert solver.stats.cache_hit_rate() == 0.5

@@ -7,8 +7,19 @@ session-scoped where safe; anything a test mutates is function-scoped.
 from __future__ import annotations
 
 import dataclasses
+import os
+import sys
 
 import pytest
+
+# Belt-and-braces with pyproject's `pythonpath = ["src"]`: keep plain
+# `pytest` (and editors that invoke it oddly) working without the
+# manual PYTHONPATH=src dance.
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 from repro import quickstart_system
 from repro.bgp import faults

@@ -1,0 +1,191 @@
+"""Tests for the parallel campaign engine.
+
+The load-bearing property is determinism: a campaign's fault reports
+and per-node exploration results must not depend on the worker count.
+Everything else (pickling, ordering, claims flattening) supports it.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro import quickstart_system
+from repro.bgp import faults
+from repro.bgp.config import AddNetwork
+from repro.bgp.ip import Prefix
+from repro.checks import default_property_suite
+from repro.core.orchestrator import DiceOrchestrator, OrchestratorConfig
+from repro.core.parallel import (
+    ExplorationTask,
+    ParallelCampaignEngine,
+    claims_from_spec,
+    claims_to_spec,
+    resolve_workers,
+    run_exploration_task,
+)
+from repro.core.sharing import SharingRegistry
+
+
+def faulty_live():
+    """A converged system with a crash bug on r2 and a hijack at r3."""
+    live = quickstart_system(seed=42)
+    router = live.router("r2")
+    router.config = dataclasses.replace(
+        router.config,
+        enabled_bugs=frozenset({faults.BUG_COMMUNITY_CRASH}),
+    )
+    live.converge()
+    live.apply_change("r3", AddNetwork(Prefix("10.1.0.0/16")))
+    live.run(until=live.network.sim.now + 5)
+    return live
+
+
+def run_campaign(workers, cycles=2, inputs=6):
+    dice = DiceOrchestrator(faulty_live(), default_property_suite())
+    return dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=inputs,
+            cycles=cycles,
+            seed=9,
+            workers=workers,
+        )
+    )
+
+
+def report_fingerprint(result):
+    """Everything deterministic about a campaign's fault reports.
+
+    Wall-clock stamps vary by machine and ``snapshot_id`` comes from a
+    process-global counter, so both are excluded.
+    """
+    return [
+        (r.fault_class, r.property_name, r.node, r.detected_at,
+         r.input_summary, r.inputs_explored)
+        for r in result.reports
+    ]
+
+
+def node_fingerprint(result):
+    return [
+        (n.node, n.executions, n.unique_paths, n.branch_coverage,
+         n.shape_coverage, n.crashes, len(n.violations))
+        for n in result.node_reports
+    ]
+
+
+class TestDeterminism:
+    def test_worker_count_does_not_change_results(self):
+        """Same seed => identical fault reports at workers=1 vs 4."""
+        serial = run_campaign(workers=1)
+        parallel = run_campaign(workers=4)
+        assert serial.reports, "campaign should detect the seeded faults"
+        assert report_fingerprint(serial) == report_fingerprint(parallel)
+        assert node_fingerprint(serial) == node_fingerprint(parallel)
+        assert serial.fault_classes_found() == parallel.fault_classes_found()
+        assert serial.inputs_explored == parallel.inputs_explored
+        assert serial.snapshots_taken == parallel.snapshots_taken
+        # The per-node cache handoff must evolve identically too.
+        assert serial.solver_cache_hits == parallel.solver_cache_hits
+        assert serial.solver_cache_misses == parallel.solver_cache_misses
+
+    def test_workers_recorded_on_result(self):
+        result = run_campaign(workers=2, cycles=1, inputs=2)
+        assert result.workers == 2
+
+    def test_stop_after_first_fault_counters_match_serial(self):
+        """Early stop truncates the parallel merge to exactly what the
+        serial loop would have captured and explored."""
+
+        def stopping_campaign(workers):
+            dice = DiceOrchestrator(faulty_live(),
+                                    default_property_suite())
+            return dice.run_campaign(
+                OrchestratorConfig(
+                    inputs_per_node=4,
+                    seed=9,
+                    workers=workers,
+                    stop_after_first_fault=True,
+                )
+            )
+
+        serial = stopping_campaign(1)
+        parallel = stopping_campaign(4)
+        assert serial.reports
+        assert report_fingerprint(serial) == report_fingerprint(parallel)
+        assert serial.snapshots_taken == parallel.snapshots_taken
+        assert serial.inputs_explored == parallel.inputs_explored
+        assert len(serial.node_reports) == len(parallel.node_reports)
+
+
+class TestExplorationTask:
+    def make_task(self, index=0):
+        live = quickstart_system(seed=7)
+        live.converge()
+        snapshot = live.coordinator.capture("r2")
+        claims = SharingRegistry.from_configs(live.initial_configs)
+        return ExplorationTask(
+            index=index,
+            cycle=0,
+            node="r2",
+            snapshot=snapshot,
+            suite=default_property_suite(),
+            claims=claims_to_spec(claims),
+            seed=13,
+            inputs=3,
+            horizon=1.0,
+            detected_at=live.network.sim.now,
+        )
+
+    def test_pickle_round_trip(self):
+        task = self.make_task()
+        restored = pickle.loads(pickle.dumps(task))
+        assert restored.node == task.node
+        assert restored.seed == task.seed
+        assert restored.claims == task.claims
+        assert restored.snapshot.snapshot_id == task.snapshot.snapshot_id
+        assert sorted(restored.snapshot.checkpoints) == sorted(
+            task.snapshot.checkpoints
+        )
+        # The restored task must be executable, not just structurally
+        # equal: run it and compare against the original.
+        original = run_exploration_task(task)
+        replayed = run_exploration_task(restored)
+        assert replayed.report.executions == original.report.executions
+        assert replayed.report.unique_paths == original.report.unique_paths
+
+    def test_exploration_config_carries_batch_parameters(self):
+        config = self.make_task().exploration_config()
+        assert config.node == "r2"
+        assert config.inputs == 3
+        assert config.seed == 13
+
+    def test_engine_returns_outcomes_in_task_order(self):
+        tasks = [self.make_task(index=i) for i in range(3)]
+        with ParallelCampaignEngine(workers=2) as engine:
+            outcomes = engine.run(list(reversed(tasks)))
+        assert [outcome.index for outcome in outcomes] == [0, 1, 2]
+
+
+class TestClaimSpec:
+    def test_round_trip(self):
+        registry = SharingRegistry()
+        registry.claim_origin(65001, Prefix("10.1.0.0/16"))
+        registry.claim_origin(65002, Prefix("10.1.0.0/16"))
+        registry.claim_origin(65003, Prefix("10.3.0.0/16"))
+        spec = claims_to_spec(registry)
+        rebuilt = claims_from_spec(spec)
+        assert rebuilt.claimed_origins(Prefix("10.1.0.0/16")) == {
+            65001, 65002,
+        }
+        assert rebuilt.claimed_origins(Prefix("10.3.0.0/16")) == {65003}
+        assert claims_to_spec(rebuilt) == spec
+
+
+class TestResolveWorkers:
+    def test_none_means_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+    @pytest.mark.parametrize("requested,expected", [(0, 1), (1, 1), (3, 3)])
+    def test_floor_is_one(self, requested, expected):
+        assert resolve_workers(requested) == expected

@@ -22,7 +22,7 @@ class TestScheduling:
         sim = Simulator()
         order = []
         for label in "abc":
-            sim.schedule(1.0, lambda l=label: order.append(l))
+            sim.schedule(1.0, lambda tag=label: order.append(tag))
         sim.run()
         assert order == ["a", "b", "c"]
 
