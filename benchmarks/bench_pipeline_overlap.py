@@ -1,0 +1,154 @@
+"""EXP-PIPELINE — how much snapshot-capture time pipelining hides.
+
+Runs the same campaign over the paper's 27-router demo topology twice
+with the same worker pool: once with unpipelined captures (every marker
+capture blocks the merge loop) and once with the capture pipeline
+(:mod:`repro.core.pipeline`: captures run on a background thread,
+overlapped with worker exploration), then reports
+
+* the **hidden-capture fraction**: 1 − (time the merge loop waited on a
+  capture) / (total capture wall time) — the pipeline's whole point;
+* end-to-end campaign wall-clock speedup, pipelined vs unpipelined;
+* a determinism check: both modes must produce identical fault-class
+  sets (pipelining reorders *when* captures run, never what they see).
+
+The exit status is non-zero when the determinism check fails or the
+hidden fraction falls below ``--min-hidden`` (default 0.80), which is
+what the CI bench-smoke job enforces.
+
+Run:  python benchmarks/bench_pipeline_overlap.py --workers 4 --json out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import benchlib
+
+from repro import DiceOrchestrator, LiveSystem, OrchestratorConfig
+from repro.checks import default_property_suite
+from repro.topo.demo27 import build_demo27
+
+BENCH = "pipeline_overlap"
+
+
+def build_live(seed: int):
+    """The converged 27-router demo system, plus its topology."""
+    topology = build_demo27()
+    live = LiveSystem.build(topology.configs, topology.links, seed=seed)
+    live.converge(deadline=600)
+    return topology, live
+
+
+def run_campaign(pipeline: bool, workers: int, args: argparse.Namespace):
+    """One campaign over a freshly built live system."""
+    topology, live = build_live(args.seed)
+    nodes = sorted(live.network.processes)[: args.nodes] or None
+    dice = DiceOrchestrator(live, default_property_suite())
+    return dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=args.inputs,
+            cycles=args.cycles,
+            horizon=args.horizon,
+            explorer_nodes=nodes,
+            seed=args.seed,
+            workers=workers,
+            pipeline=pipeline,
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="parallel worker count (>= 2 for overlap)")
+    parser.add_argument("--nodes", type=int, default=6,
+                        help="explorer nodes from the demo27 topology")
+    parser.add_argument("--inputs", type=int, default=8,
+                        help="exploration inputs per node")
+    parser.add_argument("--cycles", type=int, default=2)
+    parser.add_argument("--horizon", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=27)
+    parser.add_argument("--min-hidden", type=float, default=0.80,
+                        help="fail below this hidden-capture fraction")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_pipeline_overlap.json here "
+                             "(file or directory)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    workers = max(2, args.workers)
+
+    unpipelined = run_campaign(False, workers, args)
+    pipelined = run_campaign(True, workers, args)
+
+    hidden = pipelined.capture_hidden_fraction()
+    speedup = unpipelined.wall_time_s / max(pipelined.wall_time_s, 1e-9)
+    identical = (
+        unpipelined.fault_classes_found() == pipelined.fault_classes_found()
+    )
+    ok = identical and hidden >= args.min_hidden
+
+    metrics = {
+        "hidden_capture_fraction": round(hidden, 4),
+        "unpipelined_wall_s": round(unpipelined.wall_time_s, 4),
+        "pipelined_wall_s": round(pipelined.wall_time_s, 4),
+        "speedup": round(speedup, 3),
+        "unpipelined_capture_wall_s": round(
+            unpipelined.capture_wall_s, 4
+        ),
+        "pipelined_capture_wall_s": round(pipelined.capture_wall_s, 4),
+        "pipelined_capture_blocked_s": round(
+            pipelined.capture_blocked_s, 4
+        ),
+        "snapshots_taken": pipelined.snapshots_taken,
+        "inputs_explored": pipelined.inputs_explored,
+        "fault_classes": pipelined.fault_classes_found(),
+        "fault_classes_identical": identical,
+    }
+    config = {
+        "workers": workers,
+        "explorer_nodes": args.nodes,
+        "inputs_per_node": args.inputs,
+        "cycles": args.cycles,
+        "horizon": args.horizon,
+        "seed": args.seed,
+        "min_hidden": args.min_hidden,
+        "cpu_count": os.cpu_count(),
+        "topology": "demo27 (27 BGP routers)",
+    }
+
+    print(f"EXP-PIPELINE — {config['topology']}, {args.nodes} explorer "
+          f"nodes x {args.cycles} cycle(s), {workers} workers")
+    print(f"{'mode':<14}{'wall (s)':>10}{'capture (s)':>13}"
+          f"{'blocked (s)':>13}{'faults':>8}")
+    print(f"{'no pipeline':<14}{unpipelined.wall_time_s:>10.2f}"
+          f"{unpipelined.capture_wall_s:>13.3f}"
+          f"{unpipelined.capture_blocked_s:>13.3f}"
+          f"{len(unpipelined.reports):>8}")
+    print(f"{'pipelined':<14}{pipelined.wall_time_s:>10.2f}"
+          f"{pipelined.capture_wall_s:>13.3f}"
+          f"{pipelined.capture_blocked_s:>13.3f}"
+          f"{len(pipelined.reports):>8}")
+    print(f"hidden capture fraction: {hidden:.1%} "
+          f"(gate: >= {args.min_hidden:.0%})   "
+          f"speedup: {speedup:.2f}x   "
+          f"fault classes identical: {identical}")
+
+    if args.json:
+        path = benchlib.write_payload(args.json, BENCH, metrics, config)
+        print(f"JSON written to {path}")
+    else:
+        print(json.dumps(benchlib.payload(BENCH, metrics, config),
+                         sort_keys=True))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

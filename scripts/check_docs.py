@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Documentation checker: internal links + doctests in fenced examples.
+
+Validates the repo's markdown documentation so docs rot fails CI, not
+readers:
+
+* every relative (non-``http``) markdown link target must exist on
+  disk, resolved against the file containing the link;
+* every fenced ``python`` code block containing ``>>>`` prompts is run
+  through :mod:`doctest`.
+
+Run:  python scripts/check_docs.py [FILES...]   (default: README.md docs/*.md)
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+# Doctests import the package; make the src layout importable without
+# requiring an installed checkout (same dance as benchmarks/benchlib.py).
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist on disk too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def default_files() -> list[str]:
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        files.extend(
+            os.path.join(docs, name)
+            for name in sorted(os.listdir(docs))
+            if name.endswith(".md")
+        )
+    return files
+
+
+def check_links(path: str, text: str) -> list[str]:
+    """Broken relative link targets in one markdown file."""
+    errors = []
+    base = os.path.dirname(path)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            errors.append(
+                f"{os.path.relpath(path, REPO_ROOT)}: broken link "
+                f"-> {match.group(1)}"
+            )
+    return errors
+
+
+def check_doctests(path: str, text: str) -> list[str]:
+    """Failing ``>>>`` examples in fenced python blocks."""
+    errors = []
+    for number, match in enumerate(_FENCE.finditer(text), start=1):
+        block = match.group(1)
+        if ">>>" not in block:
+            continue
+        parser = doctest.DocTestParser()
+        runner = doctest.DocTestRunner(verbose=False)
+        name = f"{os.path.relpath(path, REPO_ROOT)}[block {number}]"
+        test = parser.get_doctest(block, {}, name, path, 0)
+        runner.run(test)
+        if runner.failures:
+            errors.append(f"{name}: {runner.failures} doctest failure(s)")
+    return errors
+
+
+def check_file(path: str) -> list[str]:
+    """All documentation errors for one markdown file."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return check_links(path, text) + check_doctests(path, text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    files = (argv if argv else None) or default_files()
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"missing documentation file: {path}")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'FAILED' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

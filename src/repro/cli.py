@@ -78,6 +78,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             horizon=args.horizon,
             seed=args.seed,
             workers=args.workers,
+            pipeline=args.pipeline,
         )
     )
     print(render_campaign(result))
@@ -127,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=None,
                           help="exploration worker processes "
                                "(default: one per CPU; 1 = serial)")
+    campaign.add_argument("--pipeline", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="capture snapshots on a background thread, "
+                               "overlapped with exploration (parallel "
+                               "campaigns only; results are identical "
+                               "either way)")
     campaign.add_argument("--report", default=None,
                           help="write JSON report to this path")
     campaign.add_argument("--fail-on-fault", action="store_true",

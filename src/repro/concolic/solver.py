@@ -67,6 +67,13 @@ class SolverStats:
 class SolverCache:
     """Memoized normalized-constraint-system → model / unsat lookups.
 
+    Determinism contract: a cache is picklable, evolves identically for
+    an identical query sequence (FIFO eviction, no hashing of live
+    objects), and can never change a solver's *answers* — only whether
+    they were recomputed.  The orchestrator relies on this to ship one
+    cache per explorer node across process boundaries and cycles while
+    keeping campaigns bit-reproducible at any worker count.
+
     The key is the sorted tuple of constraint renderings — ``repr`` on
     the expression AST is deterministic and canonical, and sorting makes
     the key order-insensitive (a constraint system is a conjunction).

@@ -17,7 +17,9 @@ The pieces map one-to-one onto Figure 2 of the paper:
 
 :mod:`live` wraps a network of BGP routers as "the deployed system"
 DiCE runs alongside.  :mod:`parallel` shards step 3's independent
-node-exploration sessions across a process pool.
+node-exploration sessions across a process pool, and :mod:`pipeline`
+overlaps step 2's snapshot captures with step 3's exploration on a
+background thread — both without changing any campaign result.
 """
 
 from repro.core.checkpoint import NodeCheckpoint, checkpoint_size
@@ -38,6 +40,12 @@ from repro.core.parallel import (
     TaskOutcome,
     resolve_workers,
     run_exploration_task,
+)
+from repro.core.pipeline import (
+    CaptureRequest,
+    CapturedSnapshot,
+    SnapshotPipeline,
+    plan_captures,
 )
 from repro.core.live import LiveSystem
 from repro.core.offline import OfflineParserTester, OfflineReport
@@ -68,6 +76,10 @@ __all__ = [
     "ParallelCampaignEngine",
     "run_exploration_task",
     "resolve_workers",
+    "CaptureRequest",
+    "CapturedSnapshot",
+    "SnapshotPipeline",
+    "plan_captures",
     "LiveSystem",
     "OfflineParserTester",
     "OfflineReport",

@@ -117,7 +117,16 @@ def summarize_input(data: bytes) -> str:
 
 
 class Explorer:
-    """Explores one node's behaviour over clones of one snapshot."""
+    """Explores one node's behaviour over clones of one snapshot.
+
+    Determinism contract: given the same snapshot, property suite,
+    claims, and :class:`ExplorationConfig` (including its seed), an
+    exploration session produces identical reports in any process —
+    every RNG is derived from the config seed, clones share nothing
+    with the live system, and the hand-in solver cache only ever
+    short-circuits work it can prove equivalent (models are re-verified
+    on every hit).
+    """
 
     def __init__(
         self,

@@ -17,9 +17,13 @@ time-to-detection measurements fall straight out of a campaign run.
 Exploration sessions are independent across nodes, so campaigns shard
 them over a process pool when ``OrchestratorConfig.workers`` exceeds
 one (see :mod:`repro.core.parallel`).  Snapshots are still captured
-serially in the main process — the live system is singular — and the
-merge is performed in deterministic task order, so a campaign's fault
-reports do not depend on the worker count.
+in the main *process* — the live system is singular — but with
+``OrchestratorConfig.pipeline`` enabled (the default) they are captured
+on a background thread that runs ahead of exploration, so capture time
+hides behind worker exploration (see :mod:`repro.core.pipeline`).  The
+merge is performed in deterministic task order in every mode, so a
+campaign's fault reports do not depend on the worker count or on
+pipelining.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from repro.core.parallel import (
     claims_to_spec,
     resolve_workers,
 )
+from repro.core.pipeline import SnapshotPipeline, plan_captures
 from repro.core.properties import PropertySuite
 from repro.core.sharing import SharingRegistry
 from repro.util.rng import derive_seed
@@ -49,7 +54,17 @@ from repro.util.rng import derive_seed
 
 @dataclass
 class OrchestratorConfig:
-    """Campaign-level knobs."""
+    """Campaign-level knobs.
+
+    Determinism contract: with a fixed ``seed``, the fault reports,
+    per-node exploration counters, and per-node solver-cache evolution
+    of a campaign are a pure function of this config and the live
+    system's state — independent of ``workers`` and ``pipeline``.
+    Per-task seeds derive from ``(seed, cycle, node)``, snapshots are
+    captured in one fixed serial order, and outcomes merge in task
+    order (see :mod:`repro.core.parallel` and
+    :mod:`repro.core.pipeline`).
+    """
 
     inputs_per_node: int = 30
     horizon: float = 5.0
@@ -66,6 +81,10 @@ class OrchestratorConfig:
     # Exploration processes: 1 = in-process serial (the default, and
     # what tests compare against), None = one worker per CPU.
     workers: int | None = 1
+    # Capture cycle N+1's snapshots on a background thread while cycle
+    # N explores (parallel campaigns only; result-identical either way,
+    # so the knob is purely about overlap vs. simplicity).
+    pipeline: bool = True
 
 
 @dataclass
@@ -83,6 +102,15 @@ class CampaignResult:
     solver_queries: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    # Capture-overlap accounting (see repro.core.pipeline): total wall
+    # seconds spent capturing snapshots (including the live-advance
+    # between captures), and how many of those seconds the campaign
+    # waited on a capture with no exploration running.  In serial/batch
+    # modes the two are equal; in pipelined mode their gap is capture
+    # time hidden behind exploration.
+    pipelined: bool = False
+    capture_wall_s: float = 0.0
+    capture_blocked_s: float = 0.0
 
     def time_to_detection(self) -> dict[str, float]:
         """Wall-clock seconds to the first report of each fault class."""
@@ -106,6 +134,18 @@ class CampaignResult:
         """Fraction of solver queries answered from the constraint cache."""
         total = self.solver_cache_hits + self.solver_cache_misses
         return self.solver_cache_hits / total if total else 0.0
+
+    def capture_hidden_fraction(self) -> float:
+        """Fraction of snapshot-capture time hidden behind exploration.
+
+        0.0 for serial and batch-parallel campaigns (every capture
+        blocks the loop); approaches 1.0 when a pipelined campaign
+        fully overlaps captures with worker exploration.
+        """
+        if self.capture_wall_s <= 0.0:
+            return 0.0
+        hidden = 1.0 - self.capture_blocked_s / self.capture_wall_s
+        return min(1.0, max(0.0, hidden))
 
 
 class DiceOrchestrator:
@@ -194,7 +234,14 @@ class DiceOrchestrator:
                     break
                 # Let the live system move on (background churn, timers)
                 # so the next snapshot captures genuinely newer state.
+                # The advance counts as capture-side work (same scope
+                # the parallel paths measure), so capture_wall_s is
+                # comparable across modes.
+                advance_started = time.perf_counter()
                 self._advance_live(config)
+                advanced = time.perf_counter() - advance_started
+                result.capture_wall_s += advanced
+                result.capture_blocked_s += advanced
             if done:
                 break
             result.cycles_completed = cycle + 1
@@ -211,6 +258,12 @@ class DiceOrchestrator:
         )
         if not nodes:
             raise ValueError("no explorer nodes")
+        if len(set(nodes)) != len(nodes):
+            # Per-node state (the solver cache) assumes each node runs
+            # at most once per cycle; duplicates would make parallel
+            # modes diverge from serial, breaking the determinism
+            # contract.
+            raise ValueError(f"duplicate explorer nodes in {nodes!r}")
         return nodes
 
     def _capture(self, node: str, snapshot_mode: str):
@@ -272,8 +325,12 @@ class DiceOrchestrator:
         caches: dict[str, SolverCache],
     ) -> None:
         # Steps 1-2: choose explorer, establish the consistent snapshot.
+        capture_started = time.perf_counter()
         snapshot = self._capture(node, config.snapshot_mode)
+        captured = time.perf_counter() - capture_started
         result.snapshots_taken += 1
+        result.capture_wall_s += captured
+        result.capture_blocked_s += captured
         # Steps 3-5: explore inputs over clones.
         explorer = Explorer(
             snapshot, self._suite, self._claims,
@@ -303,64 +360,193 @@ class DiceOrchestrator:
     def _run_campaign_parallel(
         self, config: OrchestratorConfig, workers: int
     ) -> CampaignResult:
-        """Capture snapshots serially, shard exploration across workers.
+        """Shard exploration across workers; captures stay main-process.
 
         Exploration never touches the live system (it runs on clones),
-        so capturing a cycle's snapshots up front — with the same
+        so capturing snapshots ahead of the merge — with the same
         ``live_advance`` interleaving the serial loop uses — yields
         byte-identical snapshots, and per-task seeds derived from
-        (cycle, node) make the exploration itself reproducible.
+        (cycle, node) make the exploration itself reproducible.  With
+        ``config.pipeline`` the captures additionally move to a
+        background thread (see :meth:`_run_campaign_pipelined`); the
+        merged result is identical either way.
         """
         started = time.perf_counter()
         result = CampaignResult(workers=workers)
         nodes = self._campaign_nodes(config)
         claims_spec = claims_to_spec(self._claims)
         caches: dict[str, SolverCache] = {}
+        if config.pipeline:
+            return self._run_campaign_pipelined(
+                config, workers, started, result, nodes, claims_spec,
+                caches,
+            )
         done = False
         with ParallelCampaignEngine(workers=workers) as engine:
             for cycle in range(config.cycles):
                 tasks = []
                 for index, node in enumerate(nodes):
+                    # Same measurement scope as the pipeline's producer
+                    # (capture + live advance), so the overlap benchmark
+                    # compares like with like; here every second blocks
+                    # the loop.
+                    capture_started = time.perf_counter()
                     snapshot = self._capture(node, config.snapshot_mode)
                     tasks.append(
-                        ExplorationTask(
-                            index=index,
-                            cycle=cycle,
-                            node=node,
-                            snapshot=snapshot,
-                            suite=self._suite,
-                            claims=claims_spec,
-                            seed=derive_seed(
-                                config.seed, f"cycle{cycle}/{node}"
-                            ),
-                            inputs=config.inputs_per_node,
-                            strategy=config.strategy,
-                            horizon=config.horizon,
-                            grammar_seeds=config.grammar_seeds,
+                        self._make_task(
+                            config, cycle, index, node, snapshot,
                             detected_at=self._live.network.sim.now,
-                            process_factory=self._factory,
-                            solver_cache=caches.setdefault(
-                                node, SolverCache()
-                            ),
+                            claims_spec=claims_spec,
+                            caches=caches,
                         )
                     )
                     self._advance_live(config)
+                    elapsed = time.perf_counter() - capture_started
+                    result.capture_wall_s += elapsed
+                    result.capture_blocked_s += elapsed
                 # Snapshots are counted per *merged* outcome, not per
                 # capture: with stop_after_first_fault the whole batch
                 # was captured (and explored) eagerly, but the reported
                 # counters must match what the serial loop — which stops
                 # capturing at the first fault — would have produced.
                 for outcome in engine.run(tasks):
-                    result.snapshots_taken += 1
-                    if outcome.solver_cache is not None:
-                        caches[outcome.node] = outcome.solver_cache
-                    self._merge_node_report(
-                        result,
-                        outcome.report,
-                        snapshot_id=outcome.snapshot_id,
-                        detected_at=outcome.detected_at,
-                        started=started,
+                    self._merge_outcome(result, outcome, caches, started)
+                    if config.stop_after_first_fault and result.reports:
+                        done = True
+                        break
+                if done:
+                    break
+                result.cycles_completed = cycle + 1
+        result.wall_time_s = time.perf_counter() - started
+        return result
+
+    def _make_task(
+        self,
+        config: OrchestratorConfig,
+        cycle: int,
+        index: int,
+        node: str,
+        snapshot,
+        detected_at: float,
+        claims_spec,
+        caches: dict[str, SolverCache],
+    ) -> ExplorationTask:
+        """Build one exploration task around an already-captured snapshot."""
+        return ExplorationTask(
+            index=index,
+            cycle=cycle,
+            node=node,
+            snapshot=snapshot,
+            suite=self._suite,
+            claims=claims_spec,
+            seed=derive_seed(config.seed, f"cycle{cycle}/{node}"),
+            inputs=config.inputs_per_node,
+            strategy=config.strategy,
+            horizon=config.horizon,
+            grammar_seeds=config.grammar_seeds,
+            detected_at=detected_at,
+            process_factory=self._factory,
+            solver_cache=caches.setdefault(node, SolverCache()),
+        )
+
+    def _merge_outcome(
+        self,
+        result: CampaignResult,
+        outcome,
+        caches: dict[str, SolverCache],
+        started: float,
+    ) -> None:
+        result.snapshots_taken += 1
+        if outcome.solver_cache is not None:
+            caches[outcome.node] = outcome.solver_cache
+        self._merge_node_report(
+            result,
+            outcome.report,
+            snapshot_id=outcome.snapshot_id,
+            detected_at=outcome.detected_at,
+            started=started,
+        )
+
+    # -- pipelined path --
+
+    def _run_campaign_pipelined(
+        self,
+        config: OrchestratorConfig,
+        workers: int,
+        started: float,
+        result: CampaignResult,
+        nodes: list[str],
+        claims_spec,
+        caches: dict[str, SolverCache],
+    ) -> CampaignResult:
+        """Two-stage pipeline: background capture, foreground merge.
+
+        Stage 1 (producer thread): run the marker protocol for each
+        (cycle, node) in the serial loop's exact order, up to one cycle
+        ahead of consumption — while the pipeline is open the producer
+        is the *only* toucher of the live system, so captures are
+        bit-identical to unpipelined mode.
+
+        Stage 2 (this thread): as each capture arrives, build the task
+        — its per-node solver cache is current because cycle N+1's
+        tasks are only built after cycle N fully merged — submit it to
+        the worker pool, then resolve futures strictly in task order
+        and merge.  Exploration of task k therefore overlaps the
+        captures for tasks k+1.., which is where capture time hides.
+
+        Abort (``stop_after_first_fault``): stop merging at the faulty
+        outcome, then drain — the pipeline finishes any in-flight
+        capture and discards prefetched ones, and the engine cancels
+        not-yet-started tasks.  Counters stay per merged outcome, so
+        they match the serial loop's early stop exactly.
+        """
+        result.pipelined = True
+        requests = plan_captures(nodes, config.cycles)
+
+        def capture_one(request):
+            snapshot = self._capture(request.node, config.snapshot_mode)
+            detected_at = self._live.network.sim.now
+            self._advance_live(config)
+            return snapshot, detected_at
+
+        done = False
+        with ParallelCampaignEngine(workers=workers) as engine, \
+                SnapshotPipeline(capture_one, requests,
+                                 depth=len(nodes)) as pipeline:
+            for cycle in range(config.cycles):
+                futures = []
+                for index, node in enumerate(nodes):
+                    # A capture wait only *exposes* capture time when
+                    # the workers have nothing left to chew on; waiting
+                    # while submitted tasks still run is overlap working
+                    # as intended, so it does not count as blocked.
+                    workers_busy = any(
+                        not future.done() for future in futures
                     )
+                    waited = time.perf_counter()
+                    captured = pipeline.next_capture()
+                    if not workers_busy:
+                        result.capture_blocked_s += (
+                            time.perf_counter() - waited
+                        )
+                    # Account capture cost per *consumed* capture (the
+                    # producer's aggregate would race with an abort and
+                    # count prefetched-then-discarded work).
+                    result.capture_wall_s += captured.capture_wall_s
+                    futures.append(
+                        engine.submit(
+                            self._make_task(
+                                config, cycle, index, node,
+                                captured.snapshot,
+                                detected_at=captured.detected_at,
+                                claims_spec=claims_spec,
+                                caches=caches,
+                            )
+                        )
+                    )
+                for future in futures:
+                    self._merge_outcome(result, future.result(), caches,
+                                        started)
                     if config.stop_after_first_fault and result.reports:
                         done = True
                         break

@@ -27,7 +27,7 @@ exploration — clone, inject, propagate, check — fans out.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -162,6 +162,12 @@ class ParallelCampaignEngine:
 
     Use as a context manager (or call :meth:`close`) so pooled workers
     are reaped; the pool is created lazily on the first parallel batch.
+
+    Determinism contract: the engine never reorders results — batch
+    :meth:`run` returns outcomes sorted by task index, and callers of
+    :meth:`submit` resolve futures in submission order — so the
+    orchestrator's merge sees one fixed outcome order at any worker
+    count.
     """
 
     def __init__(self, workers: int | None = None):
@@ -175,21 +181,44 @@ class ParallelCampaignEngine:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was started."""
+        """Shut down the worker pool, if one was started.
+
+        Tasks already submitted but not yet started are cancelled —
+        relevant when a pipelined campaign aborts on
+        ``stop_after_first_fault``; results merged before the abort are
+        unaffected.
+        """
         if self._executor is not None:
-            self._executor.shutdown()
+            self._executor.shutdown(cancel_futures=True)
             self._executor = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def submit(self, task: ExplorationTask) -> "Future[TaskOutcome]":
+        """Schedule one task; returns a future resolving to its outcome.
+
+        The incremental interface the pipelined orchestrator uses: it
+        submits each task as soon as its snapshot arrives from the
+        capture pipeline and resolves the futures strictly in task
+        order, so the merge is identical to :meth:`run`'s sorted batch.
+        With ``workers <= 1`` the task runs inline, immediately.
+        """
+        if self.workers <= 1:
+            future: Future[TaskOutcome] = Future()
+            try:
+                future.set_result(run_exploration_task(task))
+            except BaseException as error:  # noqa: BLE001 - via future
+                future.set_exception(error)
+            return future
+        return self._pool().submit(run_exploration_task, task)
 
     def run(self, tasks: Sequence[ExplorationTask]) -> list[TaskOutcome]:
         """Execute a batch; outcomes come back sorted by task index."""
         if self.workers <= 1 or len(tasks) <= 1:
             outcomes = [run_exploration_task(task) for task in tasks]
         else:
-            if self._executor is None:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers
-                )
-            outcomes = list(
-                self._executor.map(run_exploration_task, tasks)
-            )
+            outcomes = list(self._pool().map(run_exploration_task, tasks))
         return sorted(outcomes, key=lambda outcome: outcome.index)

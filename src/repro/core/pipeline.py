@@ -1,0 +1,225 @@
+"""Pipelined snapshot capture: overlap captures with exploration.
+
+Snapshots must be captured in the main process — the live system is
+singular, and the marker protocol drives its simulator — but nothing
+about a capture depends on exploration results.  That makes capture the
+classic producer half of a two-stage pipeline: while worker processes
+explore the current tasks, a background thread can already run the
+marker protocol for the *next* captures, hiding capture time behind
+exploration exactly the way capture/compute pipelines hide collective
+latency behind kernels.
+
+The contract that keeps pipelining invisible to results:
+
+* **Requests are fixed up front and captured strictly in order.**  The
+  producer thread executes ``capture_fn`` for one :class:`CaptureRequest`
+  at a time, in the exact (cycle, node) order the serial loop would
+  use.  Only this thread touches the live system while the pipeline is
+  open, so the live simulator's evolution — and therefore every
+  captured snapshot — is bit-identical to unpipelined capture, at any
+  worker count and any wall-clock interleaving.
+* **Results are consumed in the same order.**  :meth:`next_capture`
+  returns captures in request order through a bounded queue; the
+  consumer can never observe a reordering.
+* **Bounded prefetch.**  The producer runs at most ``depth`` captures
+  ahead of the consumer, so the live system never races arbitrarily far
+  ahead of the cycle being explored.
+* **Abort drains, never truncates mid-capture.**  :meth:`close` (e.g.
+  on ``stop_after_first_fault``) lets an in-flight capture finish,
+  discards prefetched captures, and joins the thread — the live system
+  is always left outside the marker protocol, never mid-cut.
+
+Errors raised by ``capture_fn`` (e.g. a snapshot deadline) are
+re-raised in the consumer thread by :meth:`next_capture`, in order.
+
+With the ``pipeline`` knob off, the orchestrator instead captures
+inline on its own thread (serially before each exploration, or as a
+per-cycle batch in parallel mode) — every capture second blocks the
+campaign, which is the baseline the overlap benchmark compares
+against.  Determinism is testable as serial-vs-pipelined equality
+(see ``tests/core/test_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.snapshot import Snapshot
+
+
+@dataclass(frozen=True)
+class CaptureRequest:
+    """One planned capture, positioned in the campaign's serial order."""
+
+    index: int  # global position across the whole campaign
+    cycle: int
+    node: str
+
+
+@dataclass
+class CapturedSnapshot:
+    """One completed capture, tagged for ordered consumption.
+
+    ``detected_at`` is the live simulated time immediately after the
+    cut closed — the value fault reports from this snapshot's
+    exploration must carry, recorded here because the consumer must not
+    read the live clock while the producer thread owns it.
+    """
+
+    index: int
+    cycle: int
+    node: str
+    snapshot: Snapshot
+    detected_at: float
+    capture_wall_s: float
+
+
+# capture_fn runs on the producer thread and returns
+# (snapshot, detected_at); it owns the live system for the call.
+CaptureFn = Callable[[CaptureRequest], tuple[Snapshot, float]]
+
+
+class _PipelineError:
+    """Sentinel carrying a producer-side exception to the consumer."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+class SnapshotPipeline:
+    """Runs capture requests on a background thread, one batch ahead.
+
+    Determinism contract: captures execute strictly in request order on
+    a single producer thread (the only toucher of the live system while
+    the pipeline is open), and :meth:`next_capture` yields them in that
+    same order — so snapshots, their ``detected_at`` stamps, and the
+    live system's evolution are bit-identical to calling ``capture_fn``
+    inline, regardless of prefetch depth or consumer timing.
+
+    Use as a context manager; exiting drains and joins the thread.
+    """
+
+    def __init__(
+        self,
+        capture_fn: CaptureFn,
+        requests: Sequence[CaptureRequest],
+        depth: int = 1,
+    ):
+        self._capture_fn = capture_fn
+        self._requests = list(requests)
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=max(1, depth))
+        self._stop = threading.Event()
+        self._consumed = 0
+        # Stats for the overlap benchmark: producer-side capture time vs
+        # consumer-side time spent blocked waiting for a capture.  Their
+        # difference is the capture time *hidden* behind exploration.
+        self.capture_wall_s = 0.0
+        self.blocked_wall_s = 0.0
+        self.captures_completed = 0
+        self._thread = threading.Thread(
+            target=self._produce, name="snapshot-pipeline", daemon=True
+        )
+        self._thread.start()
+
+    # -- producer side (background thread) --
+
+    def _produce(self) -> None:
+        for request in self._requests:
+            if self._stop.is_set():
+                return
+            started = time.perf_counter()
+            try:
+                snapshot, detected_at = self._capture_fn(request)
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                self._put(_PipelineError(error))
+                return
+            elapsed = time.perf_counter() - started
+            self.capture_wall_s += elapsed
+            self.captures_completed += 1
+            self._put(
+                CapturedSnapshot(
+                    index=request.index,
+                    cycle=request.cycle,
+                    node=request.node,
+                    snapshot=snapshot,
+                    detected_at=detected_at,
+                    capture_wall_s=elapsed,
+                )
+            )
+
+    def _put(self, item: Any) -> None:
+        # Bounded put that stays responsive to close(): a consumer that
+        # stopped reading must not wedge the producer forever.
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                continue
+
+    # -- consumer side (orchestrator thread) --
+
+    def next_capture(self) -> CapturedSnapshot:
+        """The next capture, in request order; blocks until available.
+
+        Re-raises, in order, any exception the capture function raised
+        on the producer thread.
+        """
+        if self._consumed >= len(self._requests):
+            raise IndexError("all requested captures already consumed")
+        started = time.perf_counter()
+        item = self._queue.get()
+        self.blocked_wall_s += time.perf_counter() - started
+        if isinstance(item, _PipelineError):
+            self._consumed = len(self._requests)  # poisoned: nothing follows
+            raise item.error
+        self._consumed += 1
+        return item
+
+    def hidden_fraction(self) -> float:
+        """Fraction of capture wall time the consumer did not wait for."""
+        if self.capture_wall_s <= 0.0:
+            return 0.0
+        hidden = 1.0 - self.blocked_wall_s / self.capture_wall_s
+        return min(1.0, max(0.0, hidden))
+
+    # -- lifecycle --
+
+    def close(self) -> None:
+        """Stop producing, drain prefetched captures, join the thread.
+
+        Safe to call at any point (including mid-campaign abort on
+        ``stop_after_first_fault``); an in-flight capture completes so
+        the live system is never abandoned mid-marker-protocol.
+        """
+        self._stop.set()
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                if not self._thread.is_alive():
+                    break
+                time.sleep(0.01)
+        self._thread.join()
+
+    def __enter__(self) -> "SnapshotPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def plan_captures(nodes: Sequence[str], cycles: int) -> list[CaptureRequest]:
+    """The campaign's full capture schedule, in serial-loop order."""
+    return [
+        CaptureRequest(index=cycle * len(nodes) + position, cycle=cycle,
+                       node=node)
+        for cycle in range(cycles)
+        for position, node in enumerate(nodes)
+    ]

@@ -56,6 +56,12 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
             "cycles_completed": result.cycles_completed,
             "wall_time_s": round(result.wall_time_s, 6),
             "workers": result.workers,
+            "pipelined": result.pipelined,
+            "capture_wall_s": round(result.capture_wall_s, 6),
+            "capture_blocked_s": round(result.capture_blocked_s, 6),
+            "capture_hidden_fraction": round(
+                result.capture_hidden_fraction(), 6
+            ),
             "solver_queries": result.solver_queries,
             "solver_cache_hits": result.solver_cache_hits,
             "solver_cache_misses": result.solver_cache_misses,

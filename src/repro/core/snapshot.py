@@ -125,7 +125,17 @@ class _Marker:
 
 
 class SnapshotCoordinator:
-    """Runs marker-based snapshots over one live network."""
+    """Runs marker-based snapshots over one live network.
+
+    Determinism contract: a capture is a pure function of the live
+    network's state — it drives the simulator only through its ordinary
+    deterministic event loop, and checkpoint/channel contents are
+    recorded in sorted order.  Callers may move captures between
+    threads (see :class:`repro.core.pipeline.SnapshotPipeline`)
+    provided only one thread touches the network at a time; the
+    coordinator itself holds no hidden mutable state beyond the
+    ``snapshots_taken`` counter.
+    """
 
     def __init__(self, network: Network):
         self._network = network
@@ -169,7 +179,10 @@ class SnapshotCoordinator:
 
     def capture(self, initiator: str, deadline: float = 60.0) -> Snapshot:
         """Run the marker protocol; drives the simulator until the cut
-        closes (or raises after ``deadline`` simulated seconds)."""
+        closes (or raises ``TimeoutError`` after ``deadline`` simulated
+        seconds, leaving the network outside the protocol — the
+        interceptor is removed on abort, so a failed capture never
+        poisons later ones)."""
         if initiator not in self._network.processes:
             raise KeyError(f"unknown initiator {initiator!r}")
         started = time.perf_counter()

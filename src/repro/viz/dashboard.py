@@ -97,7 +97,13 @@ def render_campaign(result: CampaignResult) -> str:
         f"inputs explored     : {result.inputs_explored}",
         f"cycles completed    : {result.cycles_completed}",
         f"wall time           : {result.wall_time_s:.2f}s",
-        f"workers             : {result.workers}",
+        f"workers             : {result.workers}"
+        + (
+            f" (pipelined capture, "
+            f"{result.capture_hidden_fraction():.0%} hidden)"
+            if result.pipelined
+            else ""
+        ),
         f"solver cache        : {result.solver_cache_hits} hits / "
         f"{result.solver_cache_misses} misses "
         f"({result.solver_cache_hit_rate():.0%})",

@@ -21,6 +21,14 @@ class TestCampaign:
         assert result.inputs_explored == 15
         assert result.cycles_completed == 1
 
+    def test_duplicate_explorer_nodes_rejected(self, converged3):
+        """Per-node solver caches assume one session per node per cycle."""
+        dice = make_orchestrator(converged3)
+        with pytest.raises(ValueError, match="duplicate"):
+            dice.run_campaign(
+                OrchestratorConfig(explorer_nodes=["r2", "r2"], seed=1)
+            )
+
     def test_explorer_nodes_subset(self, converged3):
         dice = make_orchestrator(converged3)
         result = dice.run_campaign(

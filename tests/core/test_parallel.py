@@ -5,14 +5,12 @@ and per-node exploration results must not depend on the worker count.
 Everything else (pickling, ordering, claims flattening) supports it.
 """
 
-import dataclasses
 import pickle
 
 import pytest
 
+from campaign_helpers import faulty_live, node_fingerprint, report_fingerprint
 from repro import quickstart_system
-from repro.bgp import faults
-from repro.bgp.config import AddNetwork
 from repro.bgp.ip import Prefix
 from repro.checks import default_property_suite
 from repro.core.orchestrator import DiceOrchestrator, OrchestratorConfig
@@ -27,20 +25,6 @@ from repro.core.parallel import (
 from repro.core.sharing import SharingRegistry
 
 
-def faulty_live():
-    """A converged system with a crash bug on r2 and a hijack at r3."""
-    live = quickstart_system(seed=42)
-    router = live.router("r2")
-    router.config = dataclasses.replace(
-        router.config,
-        enabled_bugs=frozenset({faults.BUG_COMMUNITY_CRASH}),
-    )
-    live.converge()
-    live.apply_change("r3", AddNetwork(Prefix("10.1.0.0/16")))
-    live.run(until=live.network.sim.now + 5)
-    return live
-
-
 def run_campaign(workers, cycles=2, inputs=6):
     dice = DiceOrchestrator(faulty_live(), default_property_suite())
     return dice.run_campaign(
@@ -51,27 +35,6 @@ def run_campaign(workers, cycles=2, inputs=6):
             workers=workers,
         )
     )
-
-
-def report_fingerprint(result):
-    """Everything deterministic about a campaign's fault reports.
-
-    Wall-clock stamps vary by machine and ``snapshot_id`` comes from a
-    process-global counter, so both are excluded.
-    """
-    return [
-        (r.fault_class, r.property_name, r.node, r.detected_at,
-         r.input_summary, r.inputs_explored)
-        for r in result.reports
-    ]
-
-
-def node_fingerprint(result):
-    return [
-        (n.node, n.executions, n.unique_paths, n.branch_coverage,
-         n.shape_coverage, n.crashes, len(n.violations))
-        for n in result.node_reports
-    ]
 
 
 class TestDeterminism:

@@ -1,0 +1,185 @@
+"""Tests for pipelined snapshot capture.
+
+Two layers: unit tests of :class:`SnapshotPipeline`'s ordering, drain,
+and error semantics against a fake capture function, and end-to-end
+determinism tests asserting that pipelined campaigns produce results
+bit-identical to serial ones — including under mid-cycle abort.
+"""
+
+import threading
+import time
+
+import pytest
+
+from campaign_helpers import faulty_live, node_fingerprint, report_fingerprint
+from repro.checks import default_property_suite
+from repro.core.orchestrator import DiceOrchestrator, OrchestratorConfig
+from repro.core.pipeline import SnapshotPipeline, plan_captures
+
+
+def requests(count, nodes=("r1", "r2")):
+    return plan_captures(list(nodes), count)
+
+
+class TestPlanCaptures:
+    def test_serial_loop_order(self):
+        plan = plan_captures(["a", "b"], 2)
+        assert [(r.cycle, r.node) for r in plan] == [
+            (0, "a"), (0, "b"), (1, "a"), (1, "b"),
+        ]
+        assert [r.index for r in plan] == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert plan_captures(["a"], 0) == []
+
+
+class TestSnapshotPipeline:
+    def test_captures_in_request_order(self):
+        captured_order = []
+
+        def capture(request):
+            captured_order.append((request.cycle, request.node))
+            return object(), float(request.index)
+
+        plan = requests(3)
+        with SnapshotPipeline(capture, plan, depth=2) as pipeline:
+            consumed = [pipeline.next_capture() for _ in plan]
+        assert captured_order == [(r.cycle, r.node) for r in plan]
+        assert [c.index for c in consumed] == [r.index for r in plan]
+        assert [c.detected_at for c in consumed] == [
+            float(r.index) for r in plan
+        ]
+        assert pipeline.captures_completed == len(plan)
+
+    def test_single_producer_thread_owns_captures(self):
+        threads = set()
+
+        def capture(request):
+            threads.add(threading.current_thread().name)
+            return object(), 0.0
+
+        with SnapshotPipeline(capture, requests(2), depth=1) as pipeline:
+            for _ in range(4):
+                pipeline.next_capture()
+        assert threads == {"snapshot-pipeline"}
+
+    def test_consuming_past_the_plan_raises(self):
+        with SnapshotPipeline(lambda r: (object(), 0.0), requests(1),
+                              depth=1) as pipeline:
+            for _ in range(2):
+                pipeline.next_capture()
+            with pytest.raises(IndexError):
+                pipeline.next_capture()
+
+    def test_bounded_prefetch(self):
+        """The producer never runs more than depth+1 captures ahead."""
+        started = []
+        release = threading.Event()
+
+        def capture(request):
+            started.append(request.index)
+            release.wait(2.0)
+            return object(), 0.0
+
+        pipeline = SnapshotPipeline(capture, requests(4), depth=2)
+        try:
+            time.sleep(0.3)
+            # Nothing consumed: at most depth enqueued + 1 in flight.
+            assert len(started) <= 3
+        finally:
+            release.set()
+            pipeline.close()
+
+    def test_close_drains_and_stops_producing(self):
+        def capture(request):
+            time.sleep(0.01)
+            return object(), 0.0
+
+        pipeline = SnapshotPipeline(capture, requests(50), depth=1)
+        pipeline.next_capture()
+        pipeline.close()
+        produced_at_close = pipeline.captures_completed
+        assert produced_at_close < 100  # plan is 100 requests long
+        time.sleep(0.1)
+        # The producer thread is gone; nothing new appears.
+        assert pipeline.captures_completed == produced_at_close
+
+    def test_capture_errors_reraise_in_consumer(self):
+        def capture(request):
+            if request.index == 1:
+                raise TimeoutError("cut never closed")
+            return object(), 0.0
+
+        with SnapshotPipeline(capture, requests(2), depth=2) as pipeline:
+            pipeline.next_capture()
+            with pytest.raises(TimeoutError, match="cut never closed"):
+                pipeline.next_capture()
+
+    def test_hidden_fraction_bounds(self):
+        with SnapshotPipeline(lambda r: (object(), 0.0), requests(1),
+                              depth=1) as pipeline:
+            pipeline.next_capture()
+        assert 0.0 <= pipeline.hidden_fraction() <= 1.0
+
+
+# -- end-to-end determinism --
+
+
+def run_campaign(workers, pipeline, stop=False, cycles=2, inputs=4):
+    dice = DiceOrchestrator(faulty_live(), default_property_suite())
+    return dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=inputs,
+            cycles=cycles,
+            seed=9,
+            workers=workers,
+            pipeline=pipeline,
+            stop_after_first_fault=stop,
+        )
+    )
+
+
+class TestPipelinedDeterminism:
+    def test_pipelined_matches_serial(self):
+        """Fault reports, counters, and cache evolution are identical."""
+        serial = run_campaign(workers=1, pipeline=False)
+        piped = run_campaign(workers=3, pipeline=True)
+        assert serial.reports, "campaign should detect the seeded faults"
+        assert report_fingerprint(serial) == report_fingerprint(piped)
+        assert node_fingerprint(serial) == node_fingerprint(piped)
+        assert serial.fault_classes_found() == piped.fault_classes_found()
+        assert serial.inputs_explored == piped.inputs_explored
+        assert serial.snapshots_taken == piped.snapshots_taken
+        assert serial.solver_cache_hits == piped.solver_cache_hits
+        assert serial.solver_cache_misses == piped.solver_cache_misses
+        assert piped.pipelined and not serial.pipelined
+
+    def test_pipelined_matches_batch_parallel(self):
+        """The pipeline knob alone changes nothing at equal workers."""
+        batch = run_campaign(workers=3, pipeline=False, cycles=1)
+        piped = run_campaign(workers=3, pipeline=True, cycles=1)
+        assert report_fingerprint(batch) == report_fingerprint(piped)
+        assert node_fingerprint(batch) == node_fingerprint(piped)
+        assert batch.snapshots_taken == piped.snapshots_taken
+
+    def test_stop_after_first_fault_abort_matches_serial(self):
+        """Mid-cycle abort drains the pipeline; counters match serial."""
+        serial = run_campaign(workers=1, pipeline=False, stop=True)
+        piped = run_campaign(workers=3, pipeline=True, stop=True)
+        assert serial.reports
+        assert report_fingerprint(serial) == report_fingerprint(piped)
+        assert serial.snapshots_taken == piped.snapshots_taken
+        assert serial.inputs_explored == piped.inputs_explored
+        assert len(serial.node_reports) == len(piped.node_reports)
+
+    def test_capture_stats_populated(self):
+        piped = run_campaign(workers=2, pipeline=True, cycles=1)
+        assert piped.capture_wall_s > 0.0
+        assert 0.0 <= piped.capture_hidden_fraction() <= 1.0
+
+    def test_campaign_nodes_visited_once_per_cycle(self):
+        piped = run_campaign(workers=2, pipeline=True, cycles=2)
+        assert [n.node for n in piped.node_reports] == [
+            "r1", "r2", "r3", "r1", "r2", "r3",
+        ]
+        assert piped.cycles_completed == 2

@@ -21,6 +21,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--topology", "atlantis"])
 
+    def test_pipeline_flag(self):
+        assert build_parser().parse_args(["campaign"]).pipeline is True
+        args = build_parser().parse_args(["campaign", "--no-pipeline"])
+        assert args.pipeline is False
+
 
 class TestCampaignCommand:
     def test_healthy_campaign_exit_zero(self, capsys):

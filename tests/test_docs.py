@@ -1,0 +1,59 @@
+"""The documentation stays checkable from tier-1.
+
+Runs the same validation CI's docs job runs (``scripts/check_docs.py``):
+required docs exist, internal markdown links resolve, and fenced
+``>>>`` examples pass doctest.
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_checker():
+    path = os.path.join(REPO_ROOT, "scripts", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+REQUIRED_DOCS = (
+    "README.md",
+    os.path.join("docs", "architecture.md"),
+    os.path.join("docs", "examples.md"),
+)
+
+
+class TestDocs:
+    def test_required_docs_exist(self):
+        for relative in REQUIRED_DOCS:
+            assert os.path.exists(os.path.join(REPO_ROOT, relative)), relative
+
+    def test_no_broken_links_or_doctests(self):
+        checker = load_checker()
+        errors = []
+        for path in checker.default_files():
+            errors.extend(checker.check_file(path))
+        assert errors == []
+
+    def test_checker_flags_broken_link(self, tmp_path):
+        checker = load_checker()
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](./does-not-exist.md)")
+        assert checker.check_file(str(bad))
+
+    def test_checker_flags_failing_doctest(self, tmp_path):
+        checker = load_checker()
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python\n>>> 1 + 1\n3\n```\n")
+        errors = checker.check_file(str(bad))
+        assert any("doctest" in error for error in errors)
+
+    def test_readme_links_docs(self):
+        with open(os.path.join(REPO_ROOT, "README.md"),
+                  encoding="utf-8") as handle:
+            text = handle.read()
+        assert "docs/architecture.md" in text
+        assert "docs/examples.md" in text
