@@ -1,0 +1,170 @@
+"""EXP-CACHE-SHARING — what cross-node solver-cache sharing buys.
+
+Runs DiCE campaigns over the paper's 27-router demo topology and
+measures the two halves of the cache-sharing layer:
+
+* **delta shipping** — tasks and outcomes carry
+  :class:`~repro.concolic.solver.CacheDelta` / merge blobs instead of
+  whole pickled caches; the campaign's transport counters compare the
+  bytes actually shipped against the full-cache-pickling equivalent for
+  the same dispatches;
+* **cross-node merging** — every node's newly solved constraint
+  systems fold into every other node's cache between cycles, raising
+  hit rates versus isolated per-node caches (the
+  ``--no-share-solver-caches`` baseline).
+
+The exit status is non-zero — which the CI bench-smoke job enforces —
+unless all three gates hold:
+
+1. byte reduction ≥ ``--min-reduction`` (default 0.90);
+2. shared-cache solver hit rate strictly above the per-node baseline;
+3. fault-class sets identical between ``workers=1`` and parallel
+   shared-cache campaigns (the determinism gate: sharing may change
+   *whether* a model is recomputed, never *which* faults a campaign
+   finds).
+
+Run:  python benchmarks/bench_cache_sharing.py --workers 4 --json out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import benchlib
+
+from repro import DiceOrchestrator, LiveSystem, OrchestratorConfig
+from repro.checks import default_property_suite
+from repro.topo.demo27 import build_demo27
+
+BENCH = "cache_sharing"
+
+
+def build_live(seed: int):
+    """The converged 27-router demo system."""
+    topology = build_demo27()
+    live = LiveSystem.build(topology.configs, topology.links, seed=seed)
+    live.converge(deadline=600)
+    return live
+
+
+def run_campaign(workers: int, share: bool, args: argparse.Namespace):
+    """One campaign over a freshly built live system."""
+    live = build_live(args.seed)
+    nodes = sorted(live.network.processes)[: args.nodes] or None
+    dice = DiceOrchestrator(live, default_property_suite())
+    return dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=args.inputs,
+            cycles=args.cycles,
+            horizon=args.horizon,
+            explorer_nodes=nodes,
+            seed=args.seed,
+            workers=workers,
+            share_solver_caches=share,
+            solver_cache_size=args.cache_size,
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="parallel worker count (>= 2 for transport)")
+    parser.add_argument("--nodes", type=int, default=6,
+                        help="explorer nodes from the demo27 topology")
+    parser.add_argument("--inputs", type=int, default=6,
+                        help="exploration inputs per node")
+    parser.add_argument("--cycles", type=int, default=3)
+    parser.add_argument("--horizon", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=27)
+    parser.add_argument("--cache-size", type=int, default=4096)
+    parser.add_argument("--min-reduction", type=float, default=0.90,
+                        help="fail below this cache-bytes reduction")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_cache_sharing.json here "
+                             "(file or directory)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    workers = max(2, args.workers)
+
+    serial = run_campaign(1, True, args)
+    shared = run_campaign(workers, True, args)
+    isolated = run_campaign(workers, False, args)
+
+    reduction = shared.cache_bytes_reduction()
+    shared_rate = shared.solver_cache_hit_rate()
+    isolated_rate = isolated.solver_cache_hit_rate()
+    identical = (
+        serial.fault_classes_found() == shared.fault_classes_found()
+        and serial.cache_state_fingerprints
+        == shared.cache_state_fingerprints
+    )
+    uplift = shared_rate > isolated_rate
+    ok = identical and uplift and reduction >= args.min_reduction
+
+    cycles = max(1, shared.cycles_completed)
+    metrics = {
+        "bytes_shipped": shared.cache_bytes_shipped(),
+        "bytes_full_equivalent": shared.cache_bytes_full_equivalent(),
+        "bytes_shipped_per_cycle": shared.cache_bytes_shipped() // cycles,
+        "bytes_full_per_cycle": (
+            shared.cache_bytes_full_equivalent() // cycles
+        ),
+        "bytes_reduction": round(reduction, 4),
+        "shared_hit_rate": round(shared_rate, 4),
+        "per_node_hit_rate": round(isolated_rate, 4),
+        "cross_node_hits": shared.solver_cache_merged_hits,
+        "entries_merged": shared.cache_entries_merged,
+        "fault_classes": shared.fault_classes_found(),
+        "fault_classes_identical": identical,
+        "serial_wall_s": round(serial.wall_time_s, 4),
+        "shared_wall_s": round(shared.wall_time_s, 4),
+    }
+    config = {
+        "workers": workers,
+        "explorer_nodes": args.nodes,
+        "inputs_per_node": args.inputs,
+        "cycles": args.cycles,
+        "horizon": args.horizon,
+        "seed": args.seed,
+        "cache_size": args.cache_size,
+        "min_reduction": args.min_reduction,
+        "cpu_count": os.cpu_count(),
+        "topology": "demo27 (27 BGP routers)",
+    }
+
+    print(f"EXP-CACHE-SHARING — {config['topology']}, {args.nodes} explorer "
+          f"nodes x {args.cycles} cycle(s), {workers} workers")
+    print(f"{'mode':<18}{'hit rate':>10}{'x-node hits':>13}"
+          f"{'shipped (KiB)':>15}{'full (KiB)':>12}")
+    print(f"{'per-node caches':<18}{isolated_rate:>10.1%}"
+          f"{isolated.solver_cache_merged_hits:>13}"
+          f"{isolated.cache_bytes_shipped() / 1024:>15.1f}"
+          f"{isolated.cache_bytes_full_equivalent() / 1024:>12.1f}")
+    print(f"{'shared caches':<18}{shared_rate:>10.1%}"
+          f"{shared.solver_cache_merged_hits:>13}"
+          f"{shared.cache_bytes_shipped() / 1024:>15.1f}"
+          f"{shared.cache_bytes_full_equivalent() / 1024:>12.1f}")
+    print(f"bytes reduction: {reduction:.1%} "
+          f"(gate: >= {args.min_reduction:.0%})   "
+          f"hit-rate uplift: {uplift}   "
+          f"serial/parallel identical: {identical}")
+
+    if args.json:
+        path = benchlib.write_payload(args.json, BENCH, metrics, config)
+        print(f"JSON written to {path}")
+    else:
+        print(json.dumps(benchlib.payload(BENCH, metrics, config),
+                         sort_keys=True))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
             pipeline=args.pipeline,
+            solver_cache_size=args.solver_cache_size,
+            share_solver_caches=args.share_solver_caches,
         )
     )
     print(render_campaign(result))
@@ -102,6 +104,14 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         return 0
     print(render_topology(topology))
     return 0
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for knobs that must be >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
                                "overlapped with exploration (parallel "
                                "campaigns only; results are identical "
                                "either way)")
+    campaign.add_argument("--solver-cache-size", type=_positive_int,
+                          default=4096,
+                          help="FIFO bound for each explorer node's "
+                               "solver constraint cache (>= 1)")
+    campaign.add_argument("--share-solver-caches",
+                          action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="fold every node's newly solved constraint "
+                               "systems into every other node's cache "
+                               "between cycles (deterministic either way)")
     campaign.add_argument("--report", default=None,
                           help="write JSON report to this path")
     campaign.add_argument("--fail-on-fault", action="store_true",

@@ -69,6 +69,9 @@ class ExplorationResult:
     solver_sat: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    # Cache hits served by entries another node contributed via the
+    # orchestrator's cross-node merge.
+    solver_cache_merged_hits: int = 0
     divergences: int = 0
     frontier_exhausted: bool = False
     duration: float = 0.0
@@ -185,6 +188,7 @@ class ConcolicEngine:
         result.solver_sat = self._solver.stats.sat
         result.solver_cache_hits = self._solver.stats.cache_hits
         result.solver_cache_misses = self._solver.stats.cache_misses
+        result.solver_cache_merged_hits = self._solver.stats.cache_merged_hits
         return result
 
     def _expand(

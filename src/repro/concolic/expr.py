@@ -10,13 +10,89 @@ direction execution took; flipping a constraint is how the engine asks
 Construction goes through the helper methods (``add``, ``bit_and``, …)
 which constant-fold eagerly, so concrete subcomputations never bloat the
 tree that reaches the solver.
+
+Every node also carries a **structural fingerprint** (``fp``): a 64-bit
+digest of the node's exact shape, computed bottom-up at construction
+(children are immutable, so a parent's fingerprint is O(1) from its
+children's).  Fingerprints are process-stable — they never touch
+Python's salted ``hash`` — which makes them usable as solver-cache keys
+that ship across process boundaries; :class:`repro.concolic.solver.
+SolverCache` builds its keys from them instead of ``repr``-ing whole
+ASTs per query.  Like ``repr``, the fingerprint is order-*sensitive*
+for commutative operators (``a + b`` and ``b + a`` fingerprint
+differently), so it refines structural identity rather than ``__eq__``.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 _COMMUTATIVE = frozenset(("add", "mul", "and", "or", "xor"))
+
+# -- structural fingerprints -------------------------------------------------
+#
+# A splitmix64-style mixer over stable integer parts.  Strings (variable
+# names) enter through a memoized blake2b digest so no salted hash ever
+# leaks into a fingerprint; operator tags are fixed odd constants.
+
+_FP_MASK = (1 << 64) - 1
+
+_FP_TAGS = {
+    tag: int.from_bytes(
+        hashlib.blake2b(tag.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+    for tag in (
+        "var", "const", "un:neg", "un:not", "cmp:eq", "cmp:ne", "cmp:lt",
+        "cmp:le", "cmp:gt", "cmp:ge", "bin:add", "bin:sub", "bin:mul",
+        "bin:and", "bin:or", "bin:xor", "bin:shl", "bin:shr",
+    )
+}
+
+_FP_NAMES: dict[str, int] = {}
+
+
+def _fp_name(name: str) -> int:
+    """Stable 64-bit digest of a variable name (memoized)."""
+    digest = _FP_NAMES.get(name)
+    if digest is None:
+        digest = int.from_bytes(
+            hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest(),
+            "big",
+        )
+        _FP_NAMES[name] = digest
+    return digest
+
+
+def _fp_mix(tag: int, *parts: int) -> int:
+    """Combine a tag and integer parts into one 64-bit fingerprint."""
+    acc = tag
+    for part in parts:
+        acc = (acc ^ (part & _FP_MASK)) * 0x9E3779B97F4A7C15 & _FP_MASK
+        acc ^= acc >> 29
+        acc = acc * 0xBF58476D1CE4E5B9 & _FP_MASK
+        acc ^= acc >> 32
+    return acc
+
+
+def _fp_int(value: int) -> tuple[int, ...]:
+    """Encode an arbitrary integer as prefix-decodable mixer parts.
+
+    ``(sign, limb count, limbs...)`` — distinct integers always yield
+    distinct part sequences, and concatenations of such sequences stay
+    uniquely decodable (the limb count delimits each).  The solver's
+    failure cache trusts fingerprint keys without re-verification, so
+    every integer entering a fingerprint must go through this rather
+    than being masked to 64 bits.
+    """
+    magnitude = abs(value)
+    limbs = []
+    while True:
+        limbs.append(magnitude & _FP_MASK)
+        magnitude >>= 64
+        if not magnitude:
+            break
+    return (1 if value < 0 else 0, len(limbs), *limbs)
 
 _CMP_NEGATION = {
     "eq": "ne",
@@ -38,9 +114,13 @@ _CMP_PYTHON = {
 
 
 class Expr:
-    """Base class for expression nodes."""
+    """Base class for expression nodes.
 
-    __slots__ = ()
+    ``fp`` is the node's structural fingerprint — a process-stable
+    64-bit digest set once in ``__init__`` (see module docstring).
+    """
+
+    __slots__ = ("fp",)
 
     def variables(self) -> Iterator["Var"]:
         """Yield every variable in the tree (with repetition)."""
@@ -62,6 +142,9 @@ class Var(Expr):
         self.name = name
         self.lo = lo
         self.hi = hi
+        self.fp = _fp_mix(
+            _FP_TAGS["var"], _fp_name(name), *_fp_int(lo), *_fp_int(hi)
+        )
 
     def variables(self) -> Iterator["Var"]:
         yield self
@@ -86,6 +169,7 @@ class Const(Expr):
 
     def __init__(self, value: int):
         self.value = int(value)
+        self.fp = _fp_mix(_FP_TAGS["const"], *_fp_int(self.value))
 
     def variables(self) -> Iterator[Var]:
         return iter(())
@@ -116,6 +200,7 @@ class BinOp(Expr):
         self.op = op
         self.left = left
         self.right = right
+        self.fp = _fp_mix(_FP_TAGS["bin:" + op], left.fp, right.fp)
 
     def variables(self) -> Iterator[Var]:
         yield from self.left.variables()
@@ -162,6 +247,7 @@ class UnOp(Expr):
             raise ValueError(f"unknown unary op {op!r}")
         self.op = op
         self.operand = operand
+        self.fp = _fp_mix(_FP_TAGS["un:" + op], operand.fp)
 
     def variables(self) -> Iterator[Var]:
         yield from self.operand.variables()
@@ -266,9 +352,14 @@ def shape_hash(node: "Expr | Constraint") -> int:
 
 
 class Constraint:
-    """One recorded branch: ``left <op> right`` held (or not) at runtime."""
+    """One recorded branch: ``left <op> right`` held (or not) at runtime.
 
-    __slots__ = ("op", "left", "right")
+    ``fp`` fingerprints the whole comparison (see module docstring);
+    the solver cache keys constraint systems on it in O(1) per
+    constraint instead of rendering ASTs with ``repr``.
+    """
+
+    __slots__ = ("op", "left", "right", "fp")
 
     def __init__(self, op: str, left: Expr, right: Expr):
         if op not in _CMP_NEGATION:
@@ -276,6 +367,7 @@ class Constraint:
         self.op = op
         self.left = left
         self.right = right
+        self.fp = _fp_mix(_FP_TAGS["cmp:" + op], left.fp, right.fp)
 
     def negated(self) -> "Constraint":
         """The constraint for the other branch arm."""

@@ -37,8 +37,11 @@ benchmarks.
 
 from __future__ import annotations
 
+import pickle
 import random
+import zlib
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.concolic.expr import BinOp, Const, Constraint, Expr, UnOp, Var
 
@@ -57,6 +60,10 @@ class SolverStats:
     random_restarts: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Hits answered by an entry another node's exploration contributed
+    # via the cross-node merge (see CacheDelta) — the sharing layer's
+    # headline number.
+    cache_merged_hits: int = 0
 
     def cache_hit_rate(self) -> float:
         """Fraction of queries answered from the cache."""
@@ -64,23 +71,108 @@ class SolverStats:
         return self.cache_hits / total if total else 0.0
 
 
+# Journal events: ("m", key, ((name, value), ...)) for a stored model,
+# ("f", failure_key) for a stored failure.  Tuples of ints/strings only,
+# so deltas pickle small and deterministically.
+CacheEvent = tuple
+
+
+def pack_events(events: tuple[CacheEvent, ...]) -> bytes:
+    """Compress an event sequence for the wire.
+
+    Event pickles are highly repetitive (shared key structure, shared
+    variable names), so zlib routinely cuts them severalfold — bytes
+    the delta protocol's transport counters get credit for because the
+    payload really ships in this form.
+    """
+    return zlib.compress(
+        pickle.dumps(events, protocol=pickle.HIGHEST_PROTOCOL), 6
+    )
+
+
+def unpack_events(packed: bytes) -> tuple[CacheEvent, ...]:
+    """Inverse of :func:`pack_events`."""
+    return pickle.loads(zlib.decompress(packed))
+
+
+@dataclass(frozen=True)
+class CacheDelta:
+    """The store events one cache accumulated since its last sync.
+
+    Replayed in order onto a cache whose ``generation`` equals
+    ``base_generation``, the events reproduce the originating cache's
+    state exactly — including FIFO evictions, which are a deterministic
+    function of the event sequence.  This is what ships across process
+    boundaries instead of the full cache: O(new entries per cycle)
+    rather than O(cache size), zlib-packed on the wire.
+    """
+
+    node: str
+    base_generation: int
+    packed_events: bytes = field(repr=False)
+    count: int = 0
+
+    @classmethod
+    def pack(cls, node: str, base_generation: int,
+             events: tuple[CacheEvent, ...]) -> "CacheDelta":
+        """Build a delta, compressing the events for shipping."""
+        return cls(
+            node=node,
+            base_generation=base_generation,
+            packed_events=pack_events(events),
+            count=len(events),
+        )
+
+    @cached_property
+    def events(self) -> tuple[CacheEvent, ...]:
+        """The decompressed event sequence (memoized: the orchestrator
+        reads it twice per delta — replay and merge collection)."""
+        return unpack_events(self.packed_events)
+
+    def __getstate__(self):
+        # Never pickle the cached_property memo: a delta must ship
+        # compressed even if .events was read before serialization.
+        return (self.node, self.base_generation, self.packed_events,
+                self.count)
+
+    def __setstate__(self, state):
+        for name, value in zip(
+                ("node", "base_generation", "packed_events", "count"),
+                state):
+            object.__setattr__(self, name, value)
+
+    def __len__(self) -> int:
+        return self.count
+
+
 class SolverCache:
     """Memoized normalized-constraint-system → model / unsat lookups.
 
     Determinism contract: a cache is picklable, evolves identically for
-    an identical query sequence (FIFO eviction, no hashing of live
+    an identical event sequence (FIFO eviction, no hashing of live
     objects), and can never change a solver's *answers* — only whether
-    they were recomputed.  The orchestrator relies on this to ship one
-    cache per explorer node across process boundaries and cycles while
-    keeping campaigns bit-reproducible at any worker count.
+    they were recomputed.  The orchestrator relies on this to keep one
+    authoritative cache per explorer node while shipping only
+    :class:`CacheDelta` objects across process boundaries: every store
+    is journalled, :meth:`take_delta` drains the journal, and
+    :meth:`replay_delta` / :meth:`merge_delta` re-apply events — so a
+    worker-side replica, the orchestrator's mirror, and a fully serial
+    campaign all step through the same states at any worker count.
 
-    The key is the sorted tuple of constraint renderings — ``repr`` on
-    the expression AST is deterministic and canonical, and sorting makes
-    the key order-insensitive (a constraint system is a conjunction).
+    The key is the sorted tuple of constraint fingerprints
+    (:attr:`repro.concolic.expr.Constraint.fp` — process-stable 64-bit
+    structural digests, memoized at construction, so key building is
+    O(1) per constraint).  Sorting makes the key order-insensitive (a
+    constraint system is a conjunction).
 
     Models are cached unconditionally: the caller re-verifies them
     against the full constraint set, so a stale or colliding entry can
-    only cost a miss, never an unsound answer.  Failures are cached per
+    only cost a miss, never an unsound answer.  Failure entries are
+    trusted without re-verification, which is still safe in the
+    solver's contract: ``None`` always means "no model found within
+    budget" (the search is incomplete by design), so the ~2^-64
+    residual chance of a fingerprint collision can only suppress one
+    search, never produce a wrong model.  Failures are cached per
     ``(system, hint, search budget)``: a failed search says nothing
     about what a different starting point or a bigger budget would
     find, so a low-budget solver can never suppress a full-budget one
@@ -90,26 +182,46 @@ class SolverCache:
     """
 
     def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries} "
+                "(use Solver(enable_cache=False) to disable caching)"
+            )
         self._max_entries = max_entries
-        self._models: dict[tuple[str, ...], dict[str, int]] = {}
+        self._models: dict[tuple[int, ...], dict[str, int]] = {}
         # Dict-as-ordered-set: FIFO eviction stays deterministic across
         # processes (set.pop order depends on randomized string hashes).
         self._failures: dict[tuple, None] = {}
+        # Sync state: generation counts every event this cache has
+        # processed (journalled stores *and* merged foreign events);
+        # the journal holds this cache's own stores since take_delta.
+        self._generation = 0
+        self._journal: list[CacheEvent] = []
+        # Model keys contributed by merge_delta (another node solved
+        # them) and not since re-solved locally; lookups against them
+        # are the cross-node hits the sharing benchmark measures.
+        self._merged_keys: set[tuple[int, ...]] = set()
+        # (generation, bytes) memo for full_pickle_size.
+        self._full_size_memo: tuple[int, int] = (-1, 0)
 
     @staticmethod
-    def key(constraints: list[Constraint]) -> tuple[str, ...]:
+    def key(constraints: list[Constraint]) -> tuple[int, ...]:
         """The normalized cache key for one constraint system."""
-        return tuple(sorted(repr(constraint) for constraint in constraints))
+        return tuple(sorted(constraint.fp for constraint in constraints))
 
     @staticmethod
     def _hint_key(hint: dict[str, int] | None) -> tuple:
         return tuple(sorted(hint.items())) if hint else ()
 
-    def lookup_model(self, key: tuple[str, ...]) -> dict[str, int] | None:
+    def lookup_model(self, key: tuple[int, ...]) -> dict[str, int] | None:
         """A previously found model for this system, if any."""
         return self._models.get(key)
 
-    def is_failure(self, key: tuple[str, ...],
+    def is_merged(self, key: tuple[int, ...]) -> bool:
+        """True when this system's model came from another node."""
+        return key in self._merged_keys
+
+    def is_failure(self, key: tuple[int, ...],
                    hint: dict[str, int] | None,
                    budget: tuple[int, ...] = ()) -> bool:
         """True when this exact (system, hint, budget) query failed."""
@@ -120,23 +232,160 @@ class SolverCache:
         """Number of cached satisfiable systems."""
         return len(self._models)
 
-    def store_model(self, key: tuple[str, ...],
+    @property
+    def max_entries(self) -> int:
+        """The FIFO eviction bound for each entry class."""
+        return self._max_entries
+
+    @property
+    def generation(self) -> int:
+        """Total events processed; the delta protocol's sync point."""
+        return self._generation
+
+    def store_model(self, key: tuple[int, ...],
                     model: dict[str, int]) -> None:
         """Remember a verified model for this system."""
-        if len(self._models) >= self._max_entries:
-            self._models.pop(next(iter(self._models)))
-        self._models[key] = dict(model)
+        self._journal.append(("m", key, tuple(sorted(model.items()))))
+        self._apply_model(key, model)
 
-    def store_failure(self, key: tuple[str, ...],
+    def store_failure(self, key: tuple[int, ...],
                       hint: dict[str, int] | None,
                       budget: tuple[int, ...] = ()) -> None:
         """Remember that this (system, hint, budget) found no model."""
-        if len(self._failures) >= self._max_entries:
-            self._failures.pop(next(iter(self._failures)))
-        self._failures[(key, self._hint_key(hint), budget)] = None
+        failure_key = (key, self._hint_key(hint), budget)
+        self._journal.append(("f", failure_key))
+        self._apply_failure(failure_key)
 
     def __len__(self) -> int:
         return len(self._models) + len(self._failures)
+
+    # -- delta protocol --
+
+    def take_delta(self, node: str = "") -> CacheDelta:
+        """Drain the journal into a shippable delta.
+
+        ``base_generation`` is the generation a receiving replica must
+        be at for replay to reproduce this cache's state.
+        """
+        delta = CacheDelta.pack(
+            node=node,
+            base_generation=self._generation - len(self._journal),
+            events=tuple(self._journal),
+        )
+        self._journal.clear()
+        return delta
+
+    def replay_delta(self, delta: CacheDelta) -> None:
+        """Re-execute a delta's events exactly (mirror maintenance).
+
+        The receiver must be at ``delta.base_generation`` — replaying
+        onto any other state would not reproduce the origin cache.
+        Replayed events are not re-journalled (the origin already
+        shipped them).
+        """
+        if self._generation != delta.base_generation:
+            raise ValueError(
+                f"cache at generation {self._generation} cannot replay a "
+                f"delta based on generation {delta.base_generation}"
+            )
+        for event in delta.events:
+            if event[0] == "m":
+                self._apply_model(event[1], dict(event[2]))
+            else:
+                self._apply_failure(event[1])
+
+    def merge_delta(self, events: tuple[CacheEvent, ...]) -> int:
+        """Fold another node's events in, first-writer-wins.
+
+        Unlike :meth:`replay_delta`, entries already present are kept
+        untouched: a node's own verified answers are never replaced, so
+        merging can turn a future miss into a hit but never changes
+        which model an already-cached system returns.  Every event
+        advances the generation (applied or skipped) so all replicas
+        of a node's cache agree on sync points; merged events are not
+        journalled (the orchestrator broadcast them in the first
+        place).  Returns the number of entries actually added.
+        """
+        added = 0
+        for event in events:
+            self._generation += 1
+            if event[0] == "m":
+                key = event[1]
+                if key in self._models:
+                    continue
+                self._evict_models()
+                self._models[key] = dict(event[2])
+                self._merged_keys.add(key)
+            else:
+                failure_key = event[1]
+                if failure_key in self._failures:
+                    continue
+                self._evict_failures()
+                self._failures[failure_key] = None
+            added += 1
+        return added
+
+    def full_pickle_size(self) -> int:
+        """Pickled size of the full entry state, in bytes.
+
+        What shipping this cache whole — the pre-delta protocol — would
+        put on the wire; the transport counters use it as the baseline
+        the cache-sharing benchmark gates against.  Memoized per
+        generation, and bounded by ``max_entries`` either way (~2 ms
+        for a full default-sized cache), so the accounting never
+        re-introduces a per-dispatch cost proportional to campaign
+        length.
+        """
+        generation, size = self._full_size_memo
+        if generation != self._generation:
+            size = len(pickle.dumps((self._models, self._failures)))
+            self._full_size_memo = (self._generation, size)
+        return size
+
+    def state_fingerprint(self) -> int:
+        """A process-stable digest of the full cache state.
+
+        Used by determinism tests and reports to assert that replicas
+        of a node's cache converged to bit-identical content (entry
+        order included — FIFO position is state).
+        """
+        from repro.concolic.expr import _fp_mix  # stable 64-bit mixer
+
+        acc = self._generation
+        for key, model in self._models.items():
+            acc = _fp_mix(acc, *key)
+            for name, value in sorted(model.items()):
+                acc = _fp_mix(acc, len(name), *name.encode(), value)
+        for (key, hint, budget) in self._failures:
+            acc = _fp_mix(acc, *key)
+            for name, value in hint:
+                acc = _fp_mix(acc, len(name), *name.encode(), value)
+            acc = _fp_mix(acc, *budget)
+        return acc
+
+    # -- internal event application (shared by store and replay) --
+
+    def _apply_model(self, key: tuple[int, ...],
+                     model: dict[str, int]) -> None:
+        self._generation += 1
+        self._evict_models()
+        self._merged_keys.discard(key)  # locally re-solved: ours now
+        self._models[key] = dict(model)
+
+    def _apply_failure(self, failure_key: tuple) -> None:
+        self._generation += 1
+        self._evict_failures()
+        self._failures[failure_key] = None
+
+    def _evict_models(self) -> None:
+        if len(self._models) >= self._max_entries:
+            oldest = next(iter(self._models))
+            del self._models[oldest]
+            self._merged_keys.discard(oldest)
+
+    def _evict_failures(self) -> None:
+        if len(self._failures) >= self._max_entries:
+            self._failures.pop(next(iter(self._failures)))
 
 
 @dataclass
@@ -316,12 +565,14 @@ class Solver:
     ) -> dict[str, int] | None:
         """Find a verified model, starting near ``hint`` when given."""
         self.stats.queries += 1
-        key: tuple[str, ...] | None = None
+        key: tuple[int, ...] | None = None
         if self._cache is not None:
             key = self._cache.key(constraints)
             cached = self._cache.lookup_model(key)
             if cached is not None and self._verifies(constraints, cached):
                 self.stats.cache_hits += 1
+                if self._cache.is_merged(key):
+                    self.stats.cache_merged_hits += 1
                 self.stats.sat += 1
                 return dict(cached)
             if self._cache.is_failure(key, hint, self._budget_key):

@@ -84,6 +84,7 @@ class NodeExplorationReport:
     solver_sat: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    solver_cache_merged_hits: int = 0
 
     @property
     def found_fault(self) -> bool:
@@ -236,6 +237,7 @@ class Explorer:
         report.solver_sat = result.solver_sat
         report.solver_cache_hits = result.solver_cache_hits
         report.solver_cache_misses = result.solver_cache_misses
+        report.solver_cache_merged_hits = result.solver_cache_merged_hits
         report.wall_time_s = time.perf_counter() - started
         return report
 

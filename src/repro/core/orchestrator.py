@@ -28,6 +28,7 @@ pipelining.
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -37,12 +38,12 @@ from repro.core.explorer import (
     NodeExplorationReport,
     STRATEGY_CONCOLIC,
 )
-from repro.concolic.solver import SolverCache
 from repro.core.faultclass import FaultReport, first_per_class
 from repro.core.live import LiveSystem, bgp_process_factory
 from repro.core.parallel import (
     ExplorationTask,
     ParallelCampaignEngine,
+    SolverCacheCoordinator,
     claims_to_spec,
     resolve_workers,
 )
@@ -85,6 +86,21 @@ class OrchestratorConfig:
     # N explores (parallel campaigns only; result-identical either way,
     # so the knob is purely about overlap vs. simplicity).
     pipeline: bool = True
+    # FIFO bound for each explorer node's solver cache (models and
+    # failures each); --solver-cache-size on the CLI.
+    solver_cache_size: int = 4096
+    # Fold every node's newly solved constraint systems into every
+    # other node's cache between cycles (see SolverCacheCoordinator).
+    # Off = per-node caches only, the pre-sharing behaviour.  Either
+    # setting is deterministic at any worker count; the knob exists so
+    # the cache-sharing benchmark can measure the uplift.
+    share_solver_caches: bool = True
+    # Price the pre-delta protocol alongside the real transport (the
+    # cache_bytes_full_* counters): pickles each node's full cache per
+    # dispatch — bounded by solver_cache_size, ~2 ms per warm default
+    # cache — purely for accounting.  Turn off to shave that from the
+    # dispatch path; bytes shipped are measured either way.
+    measure_cache_baseline: bool = True
 
 
 @dataclass
@@ -102,15 +118,38 @@ class CampaignResult:
     solver_queries: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    # Hits answered by entries other nodes contributed via the
+    # cross-node cache merge.
+    solver_cache_merged_hits: int = 0
     # Capture-overlap accounting (see repro.core.pipeline): total wall
     # seconds spent capturing snapshots (including the live-advance
     # between captures), and how many of those seconds the campaign
     # waited on a capture with no exploration running.  In serial/batch
     # modes the two are equal; in pipelined mode their gap is capture
-    # time hidden behind exploration.
+    # time hidden behind exploration.  capture_pickle_s is the slice of
+    # capture_wall_s the capture thread spent pre-pickling task
+    # payloads so main-thread dispatch only hands bytes around.
     pipelined: bool = False
     capture_wall_s: float = 0.0
     capture_blocked_s: float = 0.0
+    capture_pickle_s: float = 0.0
+    # Solver-cache transport accounting (parallel campaigns; all zero
+    # for serial runs, where nothing crosses a process boundary).
+    # "shipped" is what the delta protocol put on the wire; "full" is
+    # what pickling each node's whole cache per task — the pre-delta
+    # protocol — would have cost for the same dispatches.  These are
+    # measurements, not part of the determinism contract (they depend
+    # on worker count by construction).
+    cache_bytes_shipped_out: int = 0
+    cache_bytes_shipped_in: int = 0
+    cache_bytes_full_out: int = 0
+    cache_bytes_full_in: int = 0
+    cache_entries_merged: int = 0
+    cache_syncs: int = 0
+    # Per-node process-stable digests of final solver-cache state;
+    # identical across worker counts and pipelining (determinism
+    # tests assert on them).
+    cache_state_fingerprints: dict[str, int] = field(default_factory=dict)
 
     def time_to_detection(self) -> dict[str, float]:
         """Wall-clock seconds to the first report of each fault class."""
@@ -134,6 +173,31 @@ class CampaignResult:
         """Fraction of solver queries answered from the constraint cache."""
         total = self.solver_cache_hits + self.solver_cache_misses
         return self.solver_cache_hits / total if total else 0.0
+
+    def solver_cache_cross_node_hit_rate(self) -> float:
+        """Fraction of cached queries answered by another node's entry.
+
+        The cross-node sharing layer's contribution on top of the
+        per-node baseline (hit rate minus this is what isolated caches
+        would have delivered on the same query stream).
+        """
+        total = self.solver_cache_hits + self.solver_cache_misses
+        return self.solver_cache_merged_hits / total if total else 0.0
+
+    def cache_bytes_shipped(self) -> int:
+        """Solver-cache bytes actually shipped, both directions."""
+        return self.cache_bytes_shipped_out + self.cache_bytes_shipped_in
+
+    def cache_bytes_full_equivalent(self) -> int:
+        """What full-cache pickling would have shipped instead."""
+        return self.cache_bytes_full_out + self.cache_bytes_full_in
+
+    def cache_bytes_reduction(self) -> float:
+        """Fraction of cache transport the delta protocol eliminated."""
+        full = self.cache_bytes_full_equivalent()
+        if full <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.cache_bytes_shipped() / full)
 
     def capture_hidden_fraction(self) -> float:
         """Fraction of snapshot-capture time hidden behind exploration.
@@ -222,13 +286,16 @@ class DiceOrchestrator:
         nodes = self._campaign_nodes(config)
         # Per-node constraint caches, shared across cycles: repeated
         # cycles over similar snapshots re-record mostly identical path
-        # conditions, which the cache answers without re-solving.
-        caches: dict[str, SolverCache] = {}
+        # conditions, which the cache answers without re-solving.  The
+        # coordinator additionally folds every node's new entries into
+        # every other node's cache between cycles — the identical merge
+        # the parallel paths perform, so results stay mode-independent.
+        coordinator = self._cache_coordinator(config, nodes)
         done = False
         for cycle in range(config.cycles):
             for node in nodes:
                 self._explore_node(config, cycle, node, started, result,
-                                   caches)
+                                   coordinator)
                 if config.stop_after_first_fault and result.reports:
                     done = True
                     break
@@ -244,11 +311,36 @@ class DiceOrchestrator:
                 result.capture_blocked_s += advanced
             if done:
                 break
+            coordinator.end_cycle()
             result.cycles_completed = cycle + 1
+        self._finalize_cache_stats(result, coordinator)
         result.wall_time_s = time.perf_counter() - started
         return result
 
     # -- shared campaign plumbing --
+
+    @staticmethod
+    def _cache_coordinator(
+        config: OrchestratorConfig, nodes: list[str]
+    ) -> SolverCacheCoordinator:
+        return SolverCacheCoordinator(
+            nodes,
+            max_entries=config.solver_cache_size,
+            share=config.share_solver_caches,
+            measure_baseline=config.measure_cache_baseline,
+        )
+
+    @staticmethod
+    def _finalize_cache_stats(
+        result: CampaignResult, coordinator: SolverCacheCoordinator
+    ) -> None:
+        result.cache_bytes_shipped_out = coordinator.bytes_shipped_out
+        result.cache_bytes_shipped_in = coordinator.bytes_shipped_in
+        result.cache_bytes_full_out = coordinator.bytes_full_out
+        result.cache_bytes_full_in = coordinator.bytes_full_in
+        result.cache_entries_merged = coordinator.entries_merged
+        result.cache_syncs = coordinator.syncs
+        result.cache_state_fingerprints = coordinator.state_fingerprints()
 
     def _campaign_nodes(self, config: OrchestratorConfig) -> list[str]:
         nodes = (
@@ -296,6 +388,7 @@ class DiceOrchestrator:
         result.solver_queries += node_report.solver_queries
         result.solver_cache_hits += node_report.solver_cache_hits
         result.solver_cache_misses += node_report.solver_cache_misses
+        result.solver_cache_merged_hits += node_report.solver_cache_merged_hits
         inputs_before = result.inputs_explored
         result.inputs_explored += node_report.executions
         for violation, input_summary in node_report.violations:
@@ -322,7 +415,7 @@ class DiceOrchestrator:
         node: str,
         started: float,
         result: CampaignResult,
-        caches: dict[str, SolverCache],
+        coordinator: SolverCacheCoordinator,
     ) -> None:
         # Steps 1-2: choose explorer, establish the consistent snapshot.
         capture_started = time.perf_counter()
@@ -335,7 +428,7 @@ class DiceOrchestrator:
         explorer = Explorer(
             snapshot, self._suite, self._claims,
             process_factory=self._factory,
-            solver_cache=caches.setdefault(node, SolverCache()),
+            solver_cache=coordinator.cache_for(node),
         )
         node_report = explorer.explore(
             ExplorationConfig(
@@ -347,6 +440,7 @@ class DiceOrchestrator:
                 seed=derive_seed(config.seed, f"cycle{cycle}/{node}"),
             )
         )
+        coordinator.record_local(node)
         self._merge_node_report(
             result,
             node_report,
@@ -375,11 +469,11 @@ class DiceOrchestrator:
         result = CampaignResult(workers=workers)
         nodes = self._campaign_nodes(config)
         claims_spec = claims_to_spec(self._claims)
-        caches: dict[str, SolverCache] = {}
+        coordinator = self._cache_coordinator(config, nodes)
         if config.pipeline:
             return self._run_campaign_pipelined(
                 config, workers, started, result, nodes, claims_spec,
-                caches,
+                coordinator,
             )
         done = False
         with ParallelCampaignEngine(workers=workers) as engine:
@@ -397,7 +491,8 @@ class DiceOrchestrator:
                             config, cycle, index, node, snapshot,
                             detected_at=self._live.network.sim.now,
                             claims_spec=claims_spec,
-                            caches=caches,
+                            coordinator=coordinator,
+                            slot=engine.slot_for(node),
                         )
                     )
                     self._advance_live(config)
@@ -410,13 +505,16 @@ class DiceOrchestrator:
                 # counters must match what the serial loop — which stops
                 # capturing at the first fault — would have produced.
                 for outcome in engine.run(tasks):
-                    self._merge_outcome(result, outcome, caches, started)
+                    self._merge_outcome(result, outcome, coordinator,
+                                        started)
                     if config.stop_after_first_fault and result.reports:
                         done = True
                         break
                 if done:
                     break
+                coordinator.end_cycle()
                 result.cycles_completed = cycle + 1
+        self._finalize_cache_stats(result, coordinator)
         result.wall_time_s = time.perf_counter() - started
         return result
 
@@ -429,14 +527,23 @@ class DiceOrchestrator:
         snapshot,
         detected_at: float,
         claims_spec,
-        caches: dict[str, SolverCache],
+        coordinator: SolverCacheCoordinator,
+        slot: int,
+        snapshot_blob: bytes | None = None,
     ) -> ExplorationTask:
-        """Build one exploration task around an already-captured snapshot."""
+        """Build one exploration task around an already-captured snapshot.
+
+        ``slot`` is the engine's sticky worker slot for the node (the
+        cache sync uses it to ship the merge blob once per slot).
+        ``snapshot_blob`` (pipelined mode) is the capture thread's
+        pre-pickled payload; the task then ships bytes instead of
+        re-serializing the snapshot during dispatch.
+        """
         return ExplorationTask(
             index=index,
             cycle=cycle,
             node=node,
-            snapshot=snapshot,
+            snapshot=None if snapshot_blob is not None else snapshot,
             suite=self._suite,
             claims=claims_spec,
             seed=derive_seed(config.seed, f"cycle{cycle}/{node}"),
@@ -446,19 +553,19 @@ class DiceOrchestrator:
             grammar_seeds=config.grammar_seeds,
             detected_at=detected_at,
             process_factory=self._factory,
-            solver_cache=caches.setdefault(node, SolverCache()),
+            cache_sync=coordinator.sync_for(node, slot=slot),
+            snapshot_blob=snapshot_blob,
         )
 
     def _merge_outcome(
         self,
         result: CampaignResult,
         outcome,
-        caches: dict[str, SolverCache],
+        coordinator: SolverCacheCoordinator,
         started: float,
     ) -> None:
         result.snapshots_taken += 1
-        if outcome.solver_cache is not None:
-            caches[outcome.node] = outcome.solver_cache
+        coordinator.absorb(outcome.cache_delta)
         self._merge_node_report(
             result,
             outcome.report,
@@ -477,7 +584,7 @@ class DiceOrchestrator:
         result: CampaignResult,
         nodes: list[str],
         claims_spec,
-        caches: dict[str, SolverCache],
+        coordinator: SolverCacheCoordinator,
     ) -> CampaignResult:
         """Two-stage pipeline: background capture, foreground merge.
 
@@ -485,14 +592,16 @@ class DiceOrchestrator:
         (cycle, node) in the serial loop's exact order, up to one cycle
         ahead of consumption — while the pipeline is open the producer
         is the *only* toucher of the live system, so captures are
-        bit-identical to unpipelined mode.
+        bit-identical to unpipelined mode.  The producer also
+        pre-pickles each snapshot into the task payload, so dispatch on
+        this thread only hands bytes to the executor.
 
         Stage 2 (this thread): as each capture arrives, build the task
-        — its per-node solver cache is current because cycle N+1's
-        tasks are only built after cycle N fully merged — submit it to
-        the worker pool, then resolve futures strictly in task order
-        and merge.  Exploration of task k therefore overlaps the
-        captures for tasks k+1.., which is where capture time hides.
+        — its solver-cache sync is current because cycle N+1's tasks
+        are only built after cycle N fully merged — submit it to the
+        worker pool, then resolve futures strictly in task order and
+        merge.  Exploration of task k therefore overlaps the captures
+        for tasks k+1.., which is where capture time hides.
 
         Abort (``stop_after_first_fault``): stop merging at the faulty
         outcome, then drain — the pipeline finishes any in-flight
@@ -512,7 +621,8 @@ class DiceOrchestrator:
         done = False
         with ParallelCampaignEngine(workers=workers) as engine, \
                 SnapshotPipeline(capture_one, requests,
-                                 depth=len(nodes)) as pipeline:
+                                 depth=len(nodes),
+                                 prepare_fn=pickle.dumps) as pipeline:
             for cycle in range(config.cycles):
                 futures = []
                 for index, node in enumerate(nodes):
@@ -533,6 +643,7 @@ class DiceOrchestrator:
                     # producer's aggregate would race with an abort and
                     # count prefetched-then-discarded work).
                     result.capture_wall_s += captured.capture_wall_s
+                    result.capture_pickle_s += captured.prepare_wall_s
                     futures.append(
                         engine.submit(
                             self._make_task(
@@ -540,18 +651,22 @@ class DiceOrchestrator:
                                 captured.snapshot,
                                 detected_at=captured.detected_at,
                                 claims_spec=claims_spec,
-                                caches=caches,
+                                coordinator=coordinator,
+                                slot=engine.slot_for(node),
+                                snapshot_blob=captured.payload,
                             )
                         )
                     )
                 for future in futures:
-                    self._merge_outcome(result, future.result(), caches,
-                                        started)
+                    self._merge_outcome(result, future.result(),
+                                        coordinator, started)
                     if config.stop_after_first_fault and result.reports:
                         done = True
                         break
                 if done:
                     break
+                coordinator.end_cycle()
                 result.cycles_completed = cycle + 1
+        self._finalize_cache_stats(result, coordinator)
         result.wall_time_s = time.perf_counter() - started
         return result

@@ -4,35 +4,57 @@ The paper's loop — snapshot, clone, inject one exploration input per
 clone, check properties — is embarrassingly parallel across explorer
 nodes: every node-exploration session runs over its *own* snapshot in
 fully isolated clones and touches nothing of the live system.  This
-module shards those sessions across a :class:`concurrent.futures.
-ProcessPoolExecutor`:
+module shards those sessions across worker processes:
 
-* an :class:`ExplorationTask` is the picklable unit of work — snapshot,
-  node, strategy, per-task derived seed, input batch, property suite and
-  origination claims;
+* an :class:`ExplorationTask` is the picklable unit of work — snapshot
+  (or a pre-pickled snapshot payload), node, strategy, per-task derived
+  seed, input batch, property suite, origination claims and a solver
+  :class:`CacheSync`;
 * :func:`run_exploration_task` is the worker entry point (a module-level
   function, so it survives both fork and spawn start methods);
-* :class:`ParallelCampaignEngine` dispatches task batches and returns
-  :class:`TaskOutcome` objects **in task order**, regardless of worker
-  completion order, so the orchestrator's merge — and therefore fault
-  reports, seeds, and counters — is identical at any worker count.
+* :class:`ParallelCampaignEngine` dispatches tasks with **sticky
+  per-node routing** (every task for one node runs on the same worker
+  slot) and returns :class:`TaskOutcome` objects **in task order**,
+  regardless of worker completion order, so the orchestrator's merge —
+  and therefore fault reports, seeds, and counters — is identical at
+  any worker count.
+
+Solver-cache transport is delta-shipped: instead of pickling each
+node's whole warm :class:`~repro.concolic.solver.SolverCache` to and
+from every worker every cycle (O(MB) both ways once warm), the worker
+slot keeps a per-node replica, tasks carry only the cross-node merge
+events since the last sync, and outcomes carry only the entries the
+session added (:class:`~repro.concolic.solver.CacheDelta`).  The
+orchestrator-side :class:`SolverCacheCoordinator` reassembles every
+node's cache from base + ordered deltas, folds all nodes' new entries
+into all caches between cycles in a fixed order, and counts bytes
+shipped vs. the full-cache equivalent.
 
 Determinism is by construction: each task carries a seed derived via
 :func:`repro.util.rng.derive_seed` from the campaign seed and the task's
 (cycle, node) identity, snapshots are captured serially in the main
-process (the live system is single-threaded state), and only the
+process (the live system is single-threaded state), cache replicas are
+a pure function of the (deterministic) event log, and only the
 exploration — clone, inject, propagate, check — fans out.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.bgp.ip import Prefix
-from repro.concolic.solver import SolverCache
+from repro.concolic.solver import (
+    CacheDelta,
+    CacheEvent,
+    SolverCache,
+    pack_events,
+    unpack_events,
+)
 from repro.core.explorer import (
     ExplorationConfig,
     Explorer,
@@ -69,19 +91,275 @@ def claims_from_spec(spec: ClaimSpec) -> SharingRegistry:
     return registry
 
 
+# -- solver-cache sync protocol ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheSync:
+    """Everything a worker needs to bring its node's replica current.
+
+    ``token`` scopes the worker-side replica store to one campaign (a
+    reused pool or an inline engine must not resume another campaign's
+    caches).  ``base_generation`` is the generation the replica must be
+    at *before* applying the pending cross-node merge — a mismatch
+    means tasks for this node ran on different slots, which the
+    engine's sticky routing is required to prevent.
+
+    The merge blob is identical for every node of a cycle, so it ships
+    **once per worker slot per cycle**: the first sync landing on a
+    slot carries ``merge_blob`` (zlib-packed events), later syncs carry
+    only ``merge_id`` and the worker re-reads the blob from its
+    process-local store.  ``merge_id`` 0 means no merge is pending.
+    """
+
+    node: str
+    token: str
+    max_entries: int
+    base_generation: int
+    merge_id: int = 0
+    merge_blob: bytes | None = field(default=None, repr=False)
+
+
+# Per-process replica store: one cache per node plus the latest merge
+# blob, scoped by campaign token.  Lives at module level so it survives
+# across tasks in a pool worker (fork or spawn — the process persists
+# either way).
+_WORKER_REPLICAS: dict = {
+    "token": None, "caches": {}, "epochs": {},
+    "blob_id": 0, "blob_events": (),
+}
+
+
+def _replica_for(sync: CacheSync) -> SolverCache:
+    """The worker-local replica for one node, synced to the task."""
+    store = _WORKER_REPLICAS
+    if store["token"] != sync.token:
+        store["token"] = sync.token
+        store["caches"] = {}
+        store["epochs"] = {}
+        store["blob_id"] = 0
+        store["blob_events"] = ()
+    if sync.merge_blob is not None and sync.merge_id != store["blob_id"]:
+        store["blob_id"] = sync.merge_id
+        store["blob_events"] = unpack_events(sync.merge_blob)
+    caches: dict[str, SolverCache] = store["caches"]
+    cache = caches.get(sync.node)
+    if cache is None:
+        cache = SolverCache(max_entries=sync.max_entries)
+        caches[sync.node] = cache
+    if cache.generation != sync.base_generation:
+        raise RuntimeError(
+            f"solver-cache replica for {sync.node!r} is at generation "
+            f"{cache.generation} but the task expects "
+            f"{sync.base_generation}; tasks for one node must stay on "
+            "one worker slot"
+        )
+    if sync.merge_id:
+        applied = store["epochs"].get(sync.node, 0)
+        if applied != sync.merge_id:
+            if applied != sync.merge_id - 1 or store["blob_id"] != sync.merge_id:
+                raise RuntimeError(
+                    f"solver-cache replica for {sync.node!r} missed merge "
+                    f"epoch {sync.merge_id} (applied {applied}, blob "
+                    f"{store['blob_id']})"
+                )
+            cache.merge_delta(store["blob_events"])
+            store["epochs"][sync.node] = sync.merge_id
+    return cache
+
+
+_SYNC_TOKENS = itertools.count(1)
+
+
+def _dedup_events(events: list[CacheEvent]) -> tuple[CacheEvent, ...]:
+    """Drop repeated entries, first occurrence wins.
+
+    Several nodes solving the same system in one cycle each journal it;
+    broadcasting one copy is enough because :meth:`SolverCache.
+    merge_delta` is first-writer-wins anyway — dedup just moves that
+    decision before the bytes ship.
+    """
+    seen: set = set()
+    deduped: list[CacheEvent] = []
+    for event in events:
+        identity = (event[0], event[1])
+        if identity in seen:
+            continue
+        seen.add(identity)
+        deduped.append(event)
+    return tuple(deduped)
+
+
+class SolverCacheCoordinator:
+    """Authoritative per-node solver caches plus the sync bookkeeping.
+
+    One instance drives one campaign, in every execution mode:
+
+    * **serial** — explorers mutate :meth:`cache_for` objects directly;
+      :meth:`record_local` collects each session's journal for the
+      cross-node merge;
+    * **parallel** — workers mutate replicas; :meth:`sync_for` builds
+      the outbound :class:`CacheSync` and :meth:`absorb` replays each
+      outcome's :class:`~repro.concolic.solver.CacheDelta` into the
+      orchestrator-side mirror, so mirror and replica step through
+      identical states.
+
+    :meth:`end_cycle` folds every node's new entries into every node's
+    cache in fixed (task-order deltas, campaign node order) sequence —
+    the cross-node sharing step.  Because both sides apply the same
+    events in the same order, per-node cache state stays a pure
+    function of (seed, cycle, node): independent of worker count,
+    pipelining, and scheduling.
+
+    Transport accounting (``bytes_shipped_*`` vs ``bytes_full_*``)
+    measures the delta protocol against what full-cache pickling would
+    have shipped for the same dispatches — the numbers the
+    cache-sharing benchmark gates on.
+    """
+
+    def __init__(self, nodes: Sequence[str], max_entries: int = 4096,
+                 share: bool = True, measure_baseline: bool = True):
+        self.token = f"{os.getpid()}:{next(_SYNC_TOKENS)}"
+        self._nodes = list(nodes)
+        self._max_entries = max_entries
+        self._share = share
+        # What-if accounting: pickling each node's full cache per
+        # dispatch to price the pre-delta protocol.  Bounded by
+        # max_entries (~2 ms per warm default-sized cache) but still
+        # O(cache size) per node per cycle, so latency-sensitive
+        # deployments can turn it off; bytes_shipped_* stay measured
+        # either way.
+        self._measure_baseline = measure_baseline
+        self._caches = {
+            node: SolverCache(max_entries=max_entries) for node in nodes
+        }
+        self._shipped_generation = {node: 0 for node in nodes}
+        # The current cross-node merge blob: its epoch id, the packed
+        # form tasks ship, and the slots that already received it.
+        self._merge_epoch = 0
+        self._pending_blob: bytes | None = None
+        self._blob_slots: set[int] = set()
+        self._cycle_deltas: list[CacheDelta] = []
+        self.bytes_shipped_out = 0
+        self.bytes_shipped_in = 0
+        self.bytes_full_out = 0
+        self.bytes_full_in = 0
+        self.entries_merged = 0
+        self.syncs = 0
+
+    @property
+    def share(self) -> bool:
+        """Whether cross-node merging is enabled."""
+        return self._share
+
+    def cache_for(self, node: str) -> SolverCache:
+        """The authoritative cache (serial explorers use it in place)."""
+        return self._caches[node]
+
+    def sync_for(self, node: str, slot: int = 0) -> CacheSync:
+        """Build one task's outbound sync; counts bytes shipped.
+
+        ``slot`` is the engine's sticky worker slot for the node: the
+        merge blob travels with the first sync each slot sees per
+        epoch, and as a bare epoch reference afterwards.
+        """
+        blob = None
+        if self._merge_epoch and slot not in self._blob_slots:
+            blob = self._pending_blob
+            self._blob_slots.add(slot)
+        sync = CacheSync(
+            node=node,
+            token=self.token,
+            max_entries=self._max_entries,
+            base_generation=self._shipped_generation[node],
+            merge_id=self._merge_epoch,
+            merge_blob=blob,
+        )
+        self.syncs += 1
+        self.bytes_shipped_out += len(pickle.dumps(sync))
+        if self._measure_baseline:
+            self.bytes_full_out += self._caches[node].full_pickle_size()
+        return sync
+
+    def absorb(self, delta: CacheDelta | None) -> None:
+        """Fold one outcome's delta into the node's mirror."""
+        if delta is None:
+            return
+        self.bytes_shipped_in += len(pickle.dumps(delta))
+        cache = self._caches[delta.node]
+        cache.replay_delta(delta)
+        if self._measure_baseline:
+            self.bytes_full_in += cache.full_pickle_size()
+        self._shipped_generation[delta.node] = cache.generation
+        if self._share:
+            self._cycle_deltas.append(delta)
+
+    def record_local(self, node: str) -> None:
+        """Serial-path equivalent of :meth:`absorb`: drain the journal."""
+        delta = self._caches[node].take_delta(node)
+        self._shipped_generation[node] = self._caches[node].generation
+        if self._share:
+            self._cycle_deltas.append(delta)
+
+    def end_cycle(self) -> None:
+        """Cross-node merge: broadcast the cycle's new entries.
+
+        Applies the deduped event blob to every node's authoritative
+        cache in campaign node order; the same blob ships inside the
+        next cycle's :class:`CacheSync` so worker replicas perform the
+        identical fold before exploring.
+
+        Only model events are broadcast: failure entries are keyed by
+        the originating node's concrete hint, which other nodes will
+        essentially never query, so shipping them would double the
+        blob for no hits.  (Inbound deltas still carry failures — each
+        node's own mirror needs full fidelity.)
+        """
+        deltas = self._cycle_deltas
+        self._cycle_deltas = []
+        if not self._share:
+            return
+        events = _dedup_events(
+            [
+                event
+                for delta in deltas
+                for event in delta.events
+                if event[0] == "m"
+            ]
+        )
+        if not events:
+            return
+        for node in self._nodes:
+            self.entries_merged += self._caches[node].merge_delta(events)
+        self._merge_epoch += 1
+        self._pending_blob = pack_events(events)
+        self._blob_slots.clear()
+
+    def state_fingerprints(self) -> dict[str, int]:
+        """Per-node process-stable digests of final cache state."""
+        return {
+            node: cache.state_fingerprint()
+            for node, cache in self._caches.items()
+        }
+
+
+# -- tasks and outcomes ------------------------------------------------------
+
+
 @dataclass(frozen=True)
 class ExplorationTask:
     """One node-exploration session, ready to ship to a worker.
 
     Everything here must pickle: the snapshot (checkpoints + channel
-    state), the property suite (stateless check objects), the flattened
-    claims, and a module-level process factory.
+    state) or its pre-pickled payload, the property suite (stateless
+    check objects), the flattened claims, a module-level process
+    factory, and the solver-cache sync.
     """
 
     index: int  # position in the campaign's deterministic task order
     cycle: int
     node: str
-    snapshot: Snapshot
+    snapshot: Snapshot | None
     suite: PropertySuite
     claims: ClaimSpec
     seed: int  # already derived per (cycle, node)
@@ -92,11 +370,23 @@ class ExplorationTask:
     max_branches_per_run: int = 20_000
     detected_at: float = 0.0  # live simulated time at capture
     process_factory: ProcessFactory = bgp_process_factory
-    # Per-node constraint cache, carried across cycles: the orchestrator
-    # ships the node's cache with the task and stores the updated copy
-    # returned in the outcome.  Cycle N+1 dispatches only after cycle N
-    # merged, so the cache evolves identically at any worker count.
-    solver_cache: SolverCache | None = None
+    # Solver-cache sync for the worker-slot replica (see CacheSync).
+    # None means the session runs with a private fresh cache.
+    cache_sync: CacheSync | None = None
+    # Pre-pickled snapshot payload, produced on the capture thread so
+    # executor-side task pickling is a near-memcpy (bytes re-pickle
+    # cheaply); used when ``snapshot`` is None.
+    snapshot_blob: bytes | None = field(default=None, repr=False)
+
+    def resolve_snapshot(self) -> Snapshot:
+        """The snapshot to explore, unpickling the payload if needed."""
+        if self.snapshot is not None:
+            return self.snapshot
+        if self.snapshot_blob is None:
+            raise ValueError(
+                "task carries neither a snapshot nor a snapshot_blob"
+            )
+        return pickle.loads(self.snapshot_blob)
 
     def exploration_config(self) -> ExplorationConfig:
         """The per-session config the explorer consumes."""
@@ -121,27 +411,40 @@ class TaskOutcome:
     snapshot_id: str
     detected_at: float
     report: NodeExplorationReport = field(repr=False)
-    solver_cache: SolverCache | None = field(default=None, repr=False)
+    # Only the entries this session added — O(KB) — instead of the
+    # whole updated cache; None when the task ran without a sync.
+    cache_delta: CacheDelta | None = field(default=None, repr=False)
 
 
 def run_exploration_task(task: ExplorationTask) -> TaskOutcome:
     """Worker entry point: run one exploration session start to finish."""
+    snapshot = task.resolve_snapshot()
+    cache = (
+        _replica_for(task.cache_sync)
+        if task.cache_sync is not None
+        else None
+    )
     explorer = Explorer(
-        task.snapshot,
+        snapshot,
         task.suite,
         claims_from_spec(task.claims),
         process_factory=task.process_factory,
-        solver_cache=task.solver_cache,
+        solver_cache=cache,
     )
     report = explorer.explore(task.exploration_config())
+    delta = (
+        explorer.solver_cache.take_delta(task.node)
+        if task.cache_sync is not None
+        else None
+    )
     return TaskOutcome(
         index=task.index,
         cycle=task.cycle,
         node=task.node,
-        snapshot_id=task.snapshot.snapshot_id,
+        snapshot_id=snapshot.snapshot_id,
         detected_at=task.detected_at,
         report=report,
-        solver_cache=explorer.solver_cache,
+        cache_delta=delta,
     )
 
 
@@ -153,7 +456,7 @@ def resolve_workers(workers: int | None) -> int:
 
 
 class ParallelCampaignEngine:
-    """Shards exploration tasks across a process pool.
+    """Shards exploration tasks across worker slots.
 
     With ``workers <= 1`` tasks run inline in the calling process — the
     same code path minus the pool, which keeps single-worker campaigns
@@ -161,18 +464,22 @@ class ParallelCampaignEngine:
     apples serial baseline.
 
     Use as a context manager (or call :meth:`close`) so pooled workers
-    are reaped; the pool is created lazily on the first parallel batch.
+    are reaped; each slot's pool is created lazily on first use.
 
     Determinism contract: the engine never reorders results — batch
     :meth:`run` returns outcomes sorted by task index, and callers of
     :meth:`submit` resolve futures in submission order — so the
     orchestrator's merge sees one fixed outcome order at any worker
-    count.
+    count.  Routing is **sticky per node** (first-seen round-robin over
+    slots, which is deterministic because submission order is): the
+    slot that explored a node holds that node's solver-cache replica,
+    so the next cycle's task needs only a delta, not the warm cache.
     """
 
     def __init__(self, workers: int | None = None):
         self.workers = resolve_workers(workers)
-        self._executor: ProcessPoolExecutor | None = None
+        self._slots: list[ProcessPoolExecutor | None] = [None] * self.workers
+        self._slot_of: dict[str, int] = {}
 
     def __enter__(self) -> "ParallelCampaignEngine":
         return self
@@ -181,21 +488,32 @@ class ParallelCampaignEngine:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was started.
+        """Shut down the worker slots, if any were started.
 
         Tasks already submitted but not yet started are cancelled —
         relevant when a pipelined campaign aborts on
         ``stop_after_first_fault``; results merged before the abort are
         unaffected.
         """
-        if self._executor is not None:
-            self._executor.shutdown(cancel_futures=True)
-            self._executor = None
+        for index, pool in enumerate(self._slots):
+            if pool is not None:
+                pool.shutdown(cancel_futures=True)
+                self._slots[index] = None
 
-    def _pool(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-        return self._executor
+    def slot_for(self, node: str) -> int:
+        """The (sticky, deterministic) worker slot for one node."""
+        slot = self._slot_of.get(node)
+        if slot is None:
+            slot = len(self._slot_of) % self.workers
+            self._slot_of[node] = slot
+        return slot
+
+    def _pool(self, slot: int) -> ProcessPoolExecutor:
+        pool = self._slots[slot]
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=1)
+            self._slots[slot] = pool
+        return pool
 
     def submit(self, task: ExplorationTask) -> "Future[TaskOutcome]":
         """Schedule one task; returns a future resolving to its outcome.
@@ -213,12 +531,12 @@ class ParallelCampaignEngine:
             except BaseException as error:  # noqa: BLE001 - via future
                 future.set_exception(error)
             return future
-        return self._pool().submit(run_exploration_task, task)
+        return self._pool(self.slot_for(task.node)).submit(
+            run_exploration_task, task
+        )
 
     def run(self, tasks: Sequence[ExplorationTask]) -> list[TaskOutcome]:
         """Execute a batch; outcomes come back sorted by task index."""
-        if self.workers <= 1 or len(tasks) <= 1:
-            outcomes = [run_exploration_task(task) for task in tasks]
-        else:
-            outcomes = list(self._pool().map(run_exploration_task, tasks))
-        return sorted(outcomes, key=lambda outcome: outcome.index)
+        ordered = sorted(tasks, key=lambda task: task.index)
+        futures = [self.submit(task) for task in ordered]
+        return [future.result() for future in futures]

@@ -68,14 +68,27 @@ class CapturedSnapshot:
     cut closed — the value fault reports from this snapshot's
     exploration must carry, recorded here because the consumer must not
     read the live clock while the producer thread owns it.
+
+    ``payload`` is the capture-thread-prepared task payload (the
+    pickled snapshot, when the pipeline was given a ``prepare_fn``):
+    main-thread dispatch then only hands bytes to the executor instead
+    of re-serializing the snapshot per task.  When a payload was
+    prepared, ``snapshot`` is None — the payload fully replaces it, and
+    keeping both would double the bounded queue's peak memory for
+    nothing.  ``prepare_wall_s`` is the pickling time, which counts
+    toward ``capture_wall_s`` (it is capture-side work hidden behind
+    exploration) and is also reported separately in the
+    capture-overlap stats.
     """
 
     index: int
     cycle: int
     node: str
-    snapshot: Snapshot
+    snapshot: Snapshot | None
     detected_at: float
     capture_wall_s: float
+    payload: bytes | None = None
+    prepare_wall_s: float = 0.0
 
 
 # capture_fn runs on the producer thread and returns
@@ -110,16 +123,21 @@ class SnapshotPipeline:
         capture_fn: CaptureFn,
         requests: Sequence[CaptureRequest],
         depth: int = 1,
+        prepare_fn: Callable[[Snapshot], bytes] | None = None,
     ):
         self._capture_fn = capture_fn
+        self._prepare_fn = prepare_fn
         self._requests = list(requests)
         self._queue: queue.Queue[Any] = queue.Queue(maxsize=max(1, depth))
         self._stop = threading.Event()
         self._consumed = 0
-        # Stats for the overlap benchmark: producer-side capture time vs
-        # consumer-side time spent blocked waiting for a capture.  Their
-        # difference is the capture time *hidden* behind exploration.
+        # Stats for the overlap benchmark: producer-side capture time
+        # (including payload preparation, broken out in prepare_wall_s)
+        # vs consumer-side time spent blocked waiting for a capture.
+        # Their difference is the capture time *hidden* behind
+        # exploration.
         self.capture_wall_s = 0.0
+        self.prepare_wall_s = 0.0
         self.blocked_wall_s = 0.0
         self.captures_completed = 0
         self._thread = threading.Thread(
@@ -136,20 +154,29 @@ class SnapshotPipeline:
             started = time.perf_counter()
             try:
                 snapshot, detected_at = self._capture_fn(request)
+                payload = None
+                prepare_elapsed = 0.0
+                if self._prepare_fn is not None:
+                    prepare_started = time.perf_counter()
+                    payload = self._prepare_fn(snapshot)
+                    prepare_elapsed = time.perf_counter() - prepare_started
             except BaseException as error:  # noqa: BLE001 - forwarded
                 self._put(_PipelineError(error))
                 return
             elapsed = time.perf_counter() - started
             self.capture_wall_s += elapsed
+            self.prepare_wall_s += prepare_elapsed
             self.captures_completed += 1
             self._put(
                 CapturedSnapshot(
                     index=request.index,
                     cycle=request.cycle,
                     node=request.node,
-                    snapshot=snapshot,
+                    snapshot=None if payload is not None else snapshot,
                     detected_at=detected_at,
                     capture_wall_s=elapsed,
+                    payload=payload,
+                    prepare_wall_s=prepare_elapsed,
                 )
             )
 

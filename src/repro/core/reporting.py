@@ -59,15 +59,38 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
             "pipelined": result.pipelined,
             "capture_wall_s": round(result.capture_wall_s, 6),
             "capture_blocked_s": round(result.capture_blocked_s, 6),
+            "capture_pickle_s": round(result.capture_pickle_s, 6),
             "capture_hidden_fraction": round(
                 result.capture_hidden_fraction(), 6
             ),
             "solver_queries": result.solver_queries,
             "solver_cache_hits": result.solver_cache_hits,
             "solver_cache_misses": result.solver_cache_misses,
+            "solver_cache_merged_hits": result.solver_cache_merged_hits,
             "solver_cache_hit_rate": round(
                 result.solver_cache_hit_rate(), 6
             ),
+            "solver_cache_cross_node_hit_rate": round(
+                result.solver_cache_cross_node_hit_rate(), 6
+            ),
+            "cache_transport": {
+                "bytes_shipped_out": result.cache_bytes_shipped_out,
+                "bytes_shipped_in": result.cache_bytes_shipped_in,
+                "bytes_full_equivalent_out": result.cache_bytes_full_out,
+                "bytes_full_equivalent_in": result.cache_bytes_full_in,
+                "bytes_reduction": round(result.cache_bytes_reduction(), 6),
+                "entries_merged": result.cache_entries_merged,
+                "syncs": result.cache_syncs,
+            },
+            # Hex-rendered so consumers that read JSON numbers as
+            # doubles (> 2^53 loses bits) still compare exactly; the
+            # documented determinism check diffs these across worker
+            # counts.
+            "cache_state_fingerprints": {
+                node: format(fingerprint, "016x")
+                for node, fingerprint
+                in sorted(result.cache_state_fingerprints.items())
+            },
             "fault_classes_found": result.fault_classes_found(),
             "time_to_detection": {
                 k: round(v, 6)

@@ -106,7 +106,26 @@ def render_campaign(result: CampaignResult) -> str:
         ),
         f"solver cache        : {result.solver_cache_hits} hits / "
         f"{result.solver_cache_misses} misses "
-        f"({result.solver_cache_hit_rate():.0%})",
+        f"({result.solver_cache_hit_rate():.0%})"
+        + (
+            f", {result.solver_cache_merged_hits} cross-node"
+            if result.solver_cache_merged_hits
+            else ""
+        ),
+    ]
+    if result.cache_syncs:
+        baseline = (
+            f" vs {result.cache_bytes_full_equivalent() / 1024:.1f} KiB "
+            f"full ({result.cache_bytes_reduction():.0%} saved)"
+            if result.cache_bytes_full_equivalent()
+            else ""  # baseline measurement turned off
+        )
+        lines.append(
+            f"cache transport     : "
+            f"{result.cache_bytes_shipped() / 1024:.1f} KiB shipped"
+            f"{baseline}, {result.cache_entries_merged} entries merged"
+        )
+    lines += [
         _rule(),
         f"{'node':<8}{'strategy':<10}{'execs':>7}{'paths':>7}"
         f"{'coverage':>10}{'faults':>8}",

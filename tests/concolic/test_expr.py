@@ -131,3 +131,87 @@ class TestConstraint:
         )
         names = {var.name for var in constraint.variables()}
         assert names == {"x", "y"}
+
+
+class TestFingerprints:
+    """Structural fingerprints: process-stable solver-cache keys."""
+
+    def test_identical_trees_fingerprint_equal(self):
+        def tree():
+            return Constraint(
+                "eq",
+                BinOp("or", BinOp("shl", Var("a"), Const(8)), Var("b")),
+                Const(0x1234),
+            )
+
+        assert tree().fp == tree().fp
+
+    def test_distinct_structures_fingerprint_differently(self):
+        fps = {
+            Var("x").fp,
+            Var("y").fp,
+            Var("x", 0, 7).fp,  # domain is part of the structure
+            Const(5).fp,
+            Const(-5).fp,
+            UnOp("neg", Var("x")).fp,
+            UnOp("not", Var("x")).fp,
+            BinOp("add", Var("x"), Const(5)).fp,
+            BinOp("sub", Var("x"), Const(5)).fp,
+            Constraint("eq", Var("x"), Const(5)).fp,
+            Constraint("ne", Var("x"), Const(5)).fp,
+        }
+        assert len(fps) == 11
+
+    def test_order_sensitive_like_repr(self):
+        """The fingerprint refines repr identity, not __eq__: commutative
+        operand order matters, exactly as it did for repr-based keys."""
+        ab = BinOp("add", Var("a"), Var("b"))
+        ba = BinOp("add", Var("b"), Var("a"))
+        assert ab == ba  # __eq__ is commutative-insensitive
+        assert ab.fp != ba.fp
+
+    def test_huge_constants_disambiguated(self):
+        assert Const(1).fp != Const(1 + (1 << 64)).fp
+        # Same bit length, same low 64 bits — only the high limb
+        # differs; the failure cache trusts keys unverified, so Const
+        # must feed its full magnitude into the fingerprint.
+        assert Const(1 << 65).fp != Const(3 << 64).fp
+        assert Const(5).fp != Const(-5).fp
+
+    def test_huge_var_domains_disambiguated(self):
+        """Var bounds take the same injective encoding as Const —
+        64-bit masking would alias e.g. lo=-2 with lo=2**64-2."""
+        assert Var("x", -2, 5).fp != Var("x", (1 << 64) - 2, (1 << 64) + 5).fp
+        assert Var("x", -1, 5).fp != Var("x", 1, 5).fp
+
+    def test_stable_across_processes(self):
+        """No salted hash may leak in: recompute in a fresh interpreter."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        snippet = (
+            "from repro.concolic.expr import BinOp, Const, Constraint, Var;"
+            "print(Constraint('le', BinOp('and', Var('len'), Const(0x1F)),"
+            " Const(32)).fp)"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        local = Constraint(
+            "le", BinOp("and", Var("len"), Const(0x1F)), Const(32)
+        ).fp
+        assert outputs == {str(local)}
+
+    def test_fingerprint_is_64_bit(self):
+        fp = Constraint("eq", Var("x"), Const(1)).fp
+        assert 0 <= fp < (1 << 64)

@@ -112,6 +112,14 @@ class TestCacheControls:
         assert solver.stats.cache_hits == 0
         assert solver.stats.cache_misses == 0
 
+    def test_non_positive_bound_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_entries"):
+            SolverCache(max_entries=0)
+        with pytest.raises(ValueError, match="max_entries"):
+            SolverCache(max_entries=-1)
+
     def test_eviction_bounds_entries(self):
         cache = SolverCache(max_entries=4)
         solver = Solver(seed=1, cache=cache)
@@ -125,3 +133,126 @@ class TestCacheControls:
         solver.solve(system())
         solver.solve(system())
         assert solver.stats.cache_hit_rate() == 0.5
+
+
+class TestDeltaProtocol:
+    """Journal, delta shipping, replay, and cross-node merge."""
+
+    def warm(self, values, max_entries=4096, seed=1):
+        cache = SolverCache(max_entries=max_entries)
+        solver = Solver(seed=seed, cache=cache)
+        for value in values:
+            solver.solve([eq(byte("x"), value)])
+        return cache
+
+    def test_take_delta_drains_journal(self):
+        cache = self.warm(range(3))
+        delta = cache.take_delta("n1")
+        assert len(delta) == 3
+        assert delta.node == "n1"
+        assert delta.base_generation == 0
+        assert len(cache.take_delta("n1")) == 0  # journal drained
+
+    def test_replay_reproduces_state_exactly(self):
+        cache = self.warm(range(5))
+        mirror = SolverCache()
+        mirror.replay_delta(cache.take_delta("n1"))
+        assert mirror.state_fingerprint() == cache.state_fingerprint()
+        assert mirror.generation == cache.generation
+
+    def test_replay_reproduces_fifo_eviction(self):
+        cache = self.warm(range(10), max_entries=3)
+        assert cache.models_cached <= 3
+        mirror = SolverCache(max_entries=3)
+        mirror.replay_delta(cache.take_delta("n1"))
+        assert mirror.state_fingerprint() == cache.state_fingerprint()
+
+    def test_replay_includes_failures(self):
+        unsat = [eq(byte("x"), 1), eq(byte("x"), 2)]
+        cache = SolverCache()
+        solver = Solver(seed=1, max_repair_rounds=3, max_restarts=1,
+                        cache=cache)
+        assert solver.solve(unsat, hint={"x": 1}) is None
+        mirror = SolverCache()
+        mirror.replay_delta(cache.take_delta("n1"))
+        assert mirror.is_failure(
+            mirror.key(unsat), {"x": 1}, (3, 1)
+        )
+
+    def test_replay_onto_wrong_generation_rejected(self):
+        import pytest
+
+        cache = self.warm(range(2))
+        delta = cache.take_delta("n1")
+        stale = SolverCache()
+        stale.store_model((1,), {"x": 0})  # generation now 1, not 0
+        with pytest.raises(ValueError, match="generation"):
+            stale.replay_delta(delta)
+
+    def test_merge_is_first_writer_wins(self):
+        ours = SolverCache()
+        key = ours.key([eq(byte("x"), 7)])
+        ours.store_model(key, {"x": 7})
+        foreign = (("m", key, (("x", 99),)),)
+        added = ours.merge_delta(foreign)
+        assert added == 0  # present entries never replaced
+        assert ours.lookup_model(key) == {"x": 7}
+        assert not ours.is_merged(key)
+
+    def test_merge_adds_missing_entries_and_marks_them(self):
+        ours = SolverCache()
+        theirs = self.warm([5], seed=2)
+        delta = theirs.take_delta("n2")
+        assert ours.merge_delta(delta.events) == 1
+        key = ours.key([eq(byte("x"), 5)])
+        assert ours.lookup_model(key) == {"x": 5}
+        assert ours.is_merged(key)
+        # A cross-node hit is counted as such by a solver using ours.
+        solver = Solver(seed=3, cache=ours)
+        assert solver.solve([eq(byte("x"), 5)]) == {"x": 5}
+        assert solver.stats.cache_merged_hits == 1
+
+    def test_locally_resolved_entry_loses_merged_mark(self):
+        ours = SolverCache()
+        key = ours.key([eq(byte("x"), 5)])
+        ours.merge_delta((("m", key, (("x", 5),)),))
+        assert ours.is_merged(key)
+        ours.store_model(key, {"x": 5})
+        assert not ours.is_merged(key)
+
+    def test_merge_advances_generation_even_when_skipping(self):
+        """Every replica must agree on sync points, so skipped events
+        still count."""
+        ours = SolverCache()
+        key = ours.key([eq(byte("x"), 1)])
+        ours.store_model(key, {"x": 1})
+        before = ours.generation
+        ours.merge_delta((("m", key, (("x", 1),)),))
+        assert ours.generation == before + 1
+
+    def test_merged_entries_are_not_rejournalled(self):
+        ours = SolverCache()
+        theirs = self.warm([5])
+        ours.merge_delta(theirs.take_delta("n2").events)
+        assert len(ours.take_delta("n1")) == 0
+
+    def test_delta_is_compact_and_picklable(self):
+        import pickle
+
+        cache = self.warm(range(50))
+        full = cache.full_pickle_size()
+        delta_bytes = len(pickle.dumps(cache.take_delta("n1")))
+        restored = pickle.loads(
+            pickle.dumps(self.warm(range(50)).take_delta("n1"))
+        )
+        assert len(restored) == 50
+        # zlib-packed events beat the raw full-state pickle even when
+        # every entry is new (the worst case for a delta).
+        assert delta_bytes < full
+
+    def test_state_fingerprint_tracks_content(self):
+        a = self.warm(range(3))
+        b = self.warm(range(3))
+        assert a.state_fingerprint() == b.state_fingerprint()
+        c = self.warm(range(4))
+        assert a.state_fingerprint() != c.state_fingerprint()

@@ -26,6 +26,23 @@ class TestParser:
         args = build_parser().parse_args(["campaign", "--no-pipeline"])
         assert args.pipeline is False
 
+    def test_solver_cache_flags(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.solver_cache_size == 4096
+        assert args.share_solver_caches is True
+        args = build_parser().parse_args([
+            "campaign", "--solver-cache-size", "512",
+            "--no-share-solver-caches",
+        ])
+        assert args.solver_cache_size == 512
+        assert args.share_solver_caches is False
+
+    def test_non_positive_cache_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--solver-cache-size", "0"]
+            )
+
 
 class TestCampaignCommand:
     def test_healthy_campaign_exit_zero(self, capsys):
