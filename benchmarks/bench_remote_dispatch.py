@@ -1,0 +1,287 @@
+"""EXP-REMOTE-DISPATCH — remote worker transport vs local pools.
+
+Runs the same DiCE campaign four ways — serial reference, local
+process pools, the loopback remote transport, and (unless
+``--skip-socket``) real ``repro remote-worker`` daemon subprocesses
+over TCP — and gates the remote layer's two contracts:
+
+1. **Determinism** — fault-class sets *and* solver-cache
+   ``state_fingerprints`` are bit-identical across every transport
+   (remote dispatch moves work, never results);
+2. **Delta-sized wire traffic** — per-task cache transport stays
+   O(KB): the remote transport's cache bytes per task (syncs out +
+   push-channel merge events + outcome deltas in) at most
+   ``--max-wire-ratio`` (default 2.0) times what the local-pool delta
+   protocol ships per task for the identical campaign — the baseline
+   ``bench_cache_sharing.py`` already gates at ≥ 90 % below
+   full-cache pickling — and always below the full-cache-pickling
+   equivalent itself: a remote worker never receives a whole warm
+   cache.
+
+The exit status is non-zero when any gate fails; CI's bench-smoke and
+remote-smoke jobs both run this.
+
+Run:  python benchmarks/bench_remote_dispatch.py --json out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import select
+import subprocess
+import sys
+import time
+
+import benchlib
+
+from repro import DiceOrchestrator, LiveSystem, OrchestratorConfig
+from repro.checks import default_property_suite
+from repro.topo.demo27 import build_demo27
+
+BENCH = "remote_dispatch"
+_LISTEN = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+def build_live(seed: int):
+    """The converged 27-router demo system."""
+    topology = build_demo27()
+    live = LiveSystem.build(topology.configs, topology.links, seed=seed)
+    live.converge(deadline=600)
+    return live
+
+
+def run_campaign(args: argparse.Namespace, workers: int,
+                 transport: str = "local",
+                 remote_workers: list[str] | None = None):
+    live = build_live(args.seed)
+    nodes = sorted(live.network.processes)[: args.nodes] or None
+    dice = DiceOrchestrator(live, default_property_suite())
+    return dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=args.inputs,
+            cycles=args.cycles,
+            horizon=args.horizon,
+            explorer_nodes=nodes,
+            seed=args.seed,
+            workers=workers,
+            transport=transport,
+            remote_workers=remote_workers,
+        )
+    )
+
+
+class WorkerDaemons:
+    """Spawn ``repro remote-worker`` subprocesses on ephemeral ports."""
+
+    def __init__(self, count: int, timeout: float = 30.0):
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.processes = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro", "remote-worker",
+                 "--port", "0"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                env=env, text=True,
+            )
+            for _ in range(count)
+        ]
+        self.addresses = []
+        try:
+            deadline = time.monotonic() + timeout
+            for process in self.processes:
+                line = self._await_line(process, deadline)
+                match = _LISTEN.search(line or "")
+                if not match:
+                    raise RuntimeError(
+                        "worker daemon did not announce an address: "
+                        f"{line!r}"
+                    )
+                self.addresses.append(
+                    f"{match.group(1)}:{match.group(2)}"
+                )
+        except BaseException:
+            self.close()  # never leave orphaned daemons behind
+            raise
+
+    @staticmethod
+    def _await_line(process, deadline: float) -> str:
+        """One stdout line, without blocking past the deadline."""
+        while time.monotonic() < deadline:
+            ready, _, _ = select.select([process.stdout], [], [], 0.5)
+            if ready:
+                return process.stdout.readline()
+            if process.poll() is not None:
+                return process.stdout.readline()  # died: drain what's left
+        raise RuntimeError("timed out waiting for a worker daemon")
+
+    def close(self) -> None:
+        for process in self.processes:
+            process.terminate()
+        for process in self.processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+    def __enter__(self) -> "WorkerDaemons":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def fingerprint(result) -> tuple:
+    return (
+        tuple(result.fault_classes_found()),
+        tuple(sorted(result.cache_state_fingerprints.items())),
+    )
+
+
+def wire_stats(result) -> dict:
+    """Per-task cache-transport numbers for one campaign."""
+    tasks = max(1, len(result.node_reports))
+    cache_wire = result.cache_bytes_shipped()
+    return {
+        "tasks": tasks,
+        "cache_wire_bytes": cache_wire,
+        "cache_wire_bytes_per_task": cache_wire // tasks,
+        "bytes_pushed": result.cache_bytes_pushed,
+        "full_cache_equivalent": result.cache_bytes_full_equivalent(),
+        "frame_bytes_sent": result.wire_bytes_sent,
+        "frame_bytes_received": result.wire_bytes_received,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker slots / daemons (>= 2)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="explorer nodes from the demo27 topology")
+    parser.add_argument("--inputs", type=int, default=5,
+                        help="exploration inputs per node")
+    parser.add_argument("--cycles", type=int, default=3)
+    parser.add_argument("--horizon", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=27)
+    parser.add_argument("--max-wire-ratio", type=float, default=2.0,
+                        help="fail above this cache-wire/delta ratio")
+    parser.add_argument("--skip-socket", action="store_true",
+                        help="skip the daemon-subprocess measurement "
+                             "(environments without localhost TCP)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_remote_dispatch.json here "
+                             "(file or directory)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    workers = max(2, args.workers)
+
+    serial = run_campaign(args, workers=1, transport="local")
+    pools = run_campaign(args, workers=workers, transport="local")
+    loopback = run_campaign(args, workers=workers, transport="loopback")
+    socket_result = None
+    if not args.skip_socket:
+        with WorkerDaemons(workers) as daemons:
+            socket_result = run_campaign(
+                args, workers=workers, transport="socket",
+                remote_workers=daemons.addresses,
+            )
+
+    campaigns = {"serial": serial, "local_pools": pools,
+                 "loopback": loopback}
+    if socket_result is not None:
+        campaigns["socket"] = socket_result
+
+    reference = fingerprint(serial)
+    identical = {
+        name: fingerprint(result) == reference
+        for name, result in campaigns.items()
+    }
+    remote = socket_result if socket_result is not None else loopback
+    remote_wire = wire_stats(remote)
+    delta_baseline = wire_stats(pools)["cache_wire_bytes_per_task"]
+    wire_to_delta_ratio = (
+        round(remote_wire["cache_wire_bytes_per_task"] / delta_baseline, 4)
+        if delta_baseline else 0.0
+    )
+    ratio_ok = 0.0 < wire_to_delta_ratio <= args.max_wire_ratio
+    never_whole_cache = (
+        remote_wire["cache_wire_bytes"]
+        < remote_wire["full_cache_equivalent"]
+    )
+    ok = all(identical.values()) and ratio_ok and never_whole_cache
+
+    metrics = {
+        "fault_classes": serial.fault_classes_found(),
+        "transports_identical": identical,
+        "all_identical": all(identical.values()),
+        "wire_to_delta_ratio": wire_to_delta_ratio,
+        "cache_wire_bytes_per_task": remote_wire[
+            "cache_wire_bytes_per_task"
+        ],
+        "delta_baseline_bytes_per_task": delta_baseline,
+        "bytes_pushed": remote_wire["bytes_pushed"],
+        "never_whole_cache": never_whole_cache,
+        "frame_bytes_sent": remote_wire["frame_bytes_sent"],
+        "frame_bytes_per_task": (
+            remote_wire["frame_bytes_sent"] // remote_wire["tasks"]
+        ),
+        "serial_wall_s": round(serial.wall_time_s, 4),
+        "loopback_wall_s": round(loopback.wall_time_s, 4),
+        "socket_wall_s": (
+            round(socket_result.wall_time_s, 4)
+            if socket_result is not None else None
+        ),
+    }
+    config = {
+        "workers": workers,
+        "explorer_nodes": args.nodes,
+        "inputs_per_node": args.inputs,
+        "cycles": args.cycles,
+        "horizon": args.horizon,
+        "seed": args.seed,
+        "max_wire_ratio": args.max_wire_ratio,
+        "socket_measured": socket_result is not None,
+        "cpu_count": os.cpu_count(),
+        "topology": "demo27 (27 BGP routers)",
+    }
+
+    print(f"EXP-REMOTE-DISPATCH — {config['topology']}, {args.nodes} "
+          f"explorer nodes x {args.cycles} cycle(s), {workers} workers")
+    print(f"{'transport':<14}{'identical':>10}{'cache wire/task':>17}"
+          f"{'frames/task':>13}{'wall (s)':>10}")
+    for name, result in campaigns.items():
+        stats = wire_stats(result)
+        print(f"{name:<14}{str(identical[name]):>10}"
+              f"{stats['cache_wire_bytes_per_task']:>16}B"
+              f"{stats['frame_bytes_sent'] // stats['tasks']:>12}B"
+              f"{result.wall_time_s:>10.2f}")
+    print(f"remote/delta-protocol wire ratio: "
+          f"{wire_to_delta_ratio:.2f} "
+          f"(gate: <= {args.max_wire_ratio:.1f})   "
+          f"never whole cache: {never_whole_cache}   "
+          f"all transports identical: {all(identical.values())}")
+
+    if args.json:
+        path = benchlib.write_payload(args.json, BENCH, metrics, config)
+        print(f"JSON written to {path}")
+    else:
+        print(json.dumps(benchlib.payload(BENCH, metrics, config),
+                         sort_keys=True))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,10 +46,13 @@ GATED_METRICS = {
     "branch_coverage": "higher",
     "bytes_shipped": "lower",
     "bytes_shipped_per_cycle": "lower",
+    "wire_to_delta_ratio": "lower",
+    "cache_wire_bytes_per_task": "lower",
 }
 
 # Booleans that must never flip to False once True.
-GATED_FLAGS = ("fault_classes_identical",)
+GATED_FLAGS = ("fault_classes_identical", "all_identical",
+               "never_whole_cache")
 
 
 def load_payloads(directory: str) -> dict[str, dict]:

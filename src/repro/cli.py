@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Three subcommands cover the operator-facing workflows:
+Four subcommands cover the operator-facing workflows:
 
 * ``campaign`` — build a topology (built-in name or config file + link
   list), converge it, run a DiCE campaign, print the dashboard and
   optionally save the JSON report;
+* ``remote-worker`` — run a long-lived exploration worker daemon that
+  ``campaign --transport socket`` dispatches tasks to;
 * ``offline-parser`` — run the offline message-parser harness;
 * ``topology`` — print a topology's tier map (Figure 1's static half).
 
@@ -12,6 +14,9 @@ Examples::
 
     python -m repro campaign --topology demo27 --inputs 10 --nodes tr-1
     python -m repro campaign --topology quickstart --report /tmp/out.json
+    python -m repro remote-worker --port 7411
+    python -m repro campaign --transport socket \\
+        --remote-workers 127.0.0.1:7411,127.0.0.1:7412
     python -m repro offline-parser --budget 500
     python -m repro topology --topology demo27
 """
@@ -60,6 +65,12 @@ def _build_live(name: str, seed: int):
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    remote_workers = _parse_remote_workers(args.remote_workers)
+    if args.transport == "socket" and not remote_workers:
+        raise SystemExit(
+            "error: --transport socket requires --remote-workers "
+            "HOST:PORT,... (start daemons with `repro remote-worker`)"
+        )
     live, topology = _build_live(args.topology, args.seed)
     if topology is not None:
         print(render_topology(topology))
@@ -81,6 +92,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             pipeline=args.pipeline,
             solver_cache_size=args.solver_cache_size,
             share_solver_caches=args.share_solver_caches,
+            transport=args.transport,
+            remote_workers=remote_workers,
         )
     )
     print(render_campaign(result))
@@ -88,6 +101,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         save_campaign(result, args.report)
         print(f"\nJSON report written to {args.report}")
     return 1 if (args.fail_on_fault and result.reports) else 0
+
+
+def _parse_remote_workers(text: str | None) -> list[str] | None:
+    """Split a comma-separated host:port list; None stays None."""
+    if not text:
+        return None
+    return [piece.strip() for piece in text.split(",") if piece.strip()]
+
+
+def _cmd_remote_worker(args: argparse.Namespace) -> int:
+    from repro.core.remote import serve_worker
+
+    return serve_worker(args.host, args.port)
 
 
 def _cmd_offline_parser(args: argparse.Namespace) -> int:
@@ -154,11 +180,34 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fold every node's newly solved constraint "
                                "systems into every other node's cache "
                                "between cycles (deterministic either way)")
+    campaign.add_argument("--transport", default="local",
+                          choices=("local", "loopback", "socket"),
+                          help="where exploration tasks run: in-process "
+                               "pools (local), the remote protocol "
+                               "in-process (loopback), or repro "
+                               "remote-worker daemons (socket); results "
+                               "are identical across transports")
+    campaign.add_argument("--remote-workers", default=None,
+                          metavar="HOST:PORT,...",
+                          help="comma-separated remote-worker daemon "
+                               "addresses, one worker slot each "
+                               "(required with --transport socket)")
     campaign.add_argument("--report", default=None,
                           help="write JSON report to this path")
     campaign.add_argument("--fail-on-fault", action="store_true",
                           help="exit non-zero when faults are found")
     campaign.set_defaults(handler=_cmd_campaign)
+
+    worker = sub.add_parser(
+        "remote-worker",
+        help="run a long-lived exploration worker daemon",
+    )
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="interface to listen on")
+    worker.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral; the bound "
+                             "address is printed at startup)")
+    worker.set_defaults(handler=_cmd_remote_worker)
 
     offline = sub.add_parser("offline-parser",
                              help="offline message-parser testing")

@@ -95,6 +95,18 @@ def unpack_events(packed: bytes) -> tuple[CacheEvent, ...]:
     return pickle.loads(zlib.decompress(packed))
 
 
+def model_events(events: tuple[CacheEvent, ...]) -> tuple[CacheEvent, ...]:
+    """The broadcastable subset of an event sequence: stored models.
+
+    The cross-node merge (batch blobs and the remote push channel
+    alike) ships only model events: failure entries are keyed by the
+    originating node's concrete hint, which other nodes will
+    essentially never query, so shipping them would double the payload
+    for no hits.
+    """
+    return tuple(event for event in events if event[0] == "m")
+
+
 @dataclass(frozen=True)
 class CacheDelta:
     """The store events one cache accumulated since its last sync.

@@ -17,9 +17,11 @@ The pieces map one-to-one onto Figure 2 of the paper:
 
 :mod:`live` wraps a network of BGP routers as "the deployed system"
 DiCE runs alongside.  :mod:`parallel` shards step 3's independent
-node-exploration sessions across a process pool, and :mod:`pipeline`
-overlaps step 2's snapshot captures with step 3's exploration on a
-background thread — both without changing any campaign result.
+node-exploration sessions across worker slots, :mod:`remote` puts
+those slots on long-lived worker daemons over TCP (or an in-process
+loopback), and :mod:`pipeline` overlaps step 2's snapshot captures
+with step 3's exploration on a background thread — all without
+changing any campaign result.
 """
 
 from repro.core.checkpoint import NodeCheckpoint, checkpoint_size
@@ -46,6 +48,13 @@ from repro.core.pipeline import (
     CapturedSnapshot,
     SnapshotPipeline,
     plan_captures,
+)
+from repro.core.remote import (
+    LoopbackTransport,
+    RemoteWorkerError,
+    SocketTransport,
+    WorkerServer,
+    serve_worker,
 )
 from repro.core.live import LiveSystem
 from repro.core.offline import OfflineParserTester, OfflineReport
@@ -76,6 +85,11 @@ __all__ = [
     "ParallelCampaignEngine",
     "run_exploration_task",
     "resolve_workers",
+    "LoopbackTransport",
+    "SocketTransport",
+    "WorkerServer",
+    "RemoteWorkerError",
+    "serve_worker",
     "CaptureRequest",
     "CapturedSnapshot",
     "SnapshotPipeline",

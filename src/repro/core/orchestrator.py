@@ -15,15 +15,18 @@ stamped with wall-clock time since campaign start — the EXP-FAULTS
 time-to-detection measurements fall straight out of a campaign run.
 
 Exploration sessions are independent across nodes, so campaigns shard
-them over a process pool when ``OrchestratorConfig.workers`` exceeds
-one (see :mod:`repro.core.parallel`).  Snapshots are still captured
-in the main *process* — the live system is singular — but with
+them over worker slots when ``OrchestratorConfig.workers`` exceeds one
+(see :mod:`repro.core.parallel`) — local process pools by default, or
+remote worker daemons via ``OrchestratorConfig.transport``
+(:mod:`repro.core.remote`).  Snapshots are still captured in the main
+*process* — the live system is singular — but with
 ``OrchestratorConfig.pipeline`` enabled (the default) they are captured
 on a background thread that runs ahead of exploration, so capture time
-hides behind worker exploration (see :mod:`repro.core.pipeline`).  The
+hides behind worker exploration (see :mod:`repro.core.pipeline`); with
+``workers=1`` that same prefetch overlaps inline exploration.  The
 merge is performed in deterministic task order in every mode, so a
-campaign's fault reports do not depend on the worker count or on
-pipelining.
+campaign's fault reports do not depend on the worker count, on
+pipelining, or on the dispatch transport.
 """
 
 from __future__ import annotations
@@ -95,6 +98,14 @@ class OrchestratorConfig:
     # setting is deterministic at any worker count; the knob exists so
     # the cache-sharing benchmark can measure the uplift.
     share_solver_caches: bool = True
+    # Where exploration tasks run: "local" (inline / per-slot process
+    # pools), "loopback" (the remote wire protocol run in-process, for
+    # tests and CI), or "socket" (repro remote-worker daemons at the
+    # remote_workers addresses).  Results are transport-independent.
+    transport: str = "local"
+    # host:port addresses of remote-worker daemons, one worker slot
+    # each; required by (and only meaningful for) transport="socket".
+    remote_workers: list[str] | None = None
     # Price the pre-delta protocol alongside the real transport (the
     # cache_bytes_full_* counters): pickles each node's full cache per
     # dispatch — bounded by solver_cache_size, ~2 ms per warm default
@@ -142,10 +153,20 @@ class CampaignResult:
     # on worker count by construction).
     cache_bytes_shipped_out: int = 0
     cache_bytes_shipped_in: int = 0
+    # Merge events streamed to long-lived workers over a transport's
+    # push channel (loopback/socket), counted separately from the
+    # sync-piggybacked bytes so the dispatch benchmark can show the
+    # cadence change moved bytes off the task path.
+    cache_bytes_pushed: int = 0
     cache_bytes_full_out: int = 0
     cache_bytes_full_in: int = 0
     cache_entries_merged: int = 0
     cache_syncs: int = 0
+    # Which dispatch transport ran the campaign, and its total framed
+    # wire traffic (0 for in-process transports with no frames).
+    transport: str = "local"
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
     # Per-node process-stable digests of final solver-cache state;
     # identical across worker counts and pipelining (determinism
     # tests assert on them).
@@ -186,7 +207,8 @@ class CampaignResult:
 
     def cache_bytes_shipped(self) -> int:
         """Solver-cache bytes actually shipped, both directions."""
-        return self.cache_bytes_shipped_out + self.cache_bytes_shipped_in
+        return (self.cache_bytes_shipped_out + self.cache_bytes_shipped_in
+                + self.cache_bytes_pushed)
 
     def cache_bytes_full_equivalent(self) -> int:
         """What full-cache pickling would have shipped instead."""
@@ -278,9 +300,11 @@ class DiceOrchestrator:
 
     def run_campaign(self, config: OrchestratorConfig) -> CampaignResult:
         """Run the configured number of cycles; see module docstring."""
-        workers = resolve_workers(config.workers)
-        if workers > 1:
+        workers = self._campaign_workers(config)
+        if workers > 1 or config.transport != "local":
             return self._run_campaign_parallel(config, workers)
+        if config.pipeline:
+            return self._run_campaign_serial_pipelined(config)
         started = time.perf_counter()
         result = CampaignResult(workers=1)
         nodes = self._campaign_nodes(config)
@@ -320,6 +344,59 @@ class DiceOrchestrator:
     # -- shared campaign plumbing --
 
     @staticmethod
+    def _campaign_workers(config: OrchestratorConfig) -> int:
+        """The worker-slot count the config's transport implies."""
+        if config.transport == "socket":
+            if not config.remote_workers:
+                raise ValueError(
+                    "transport='socket' requires remote_workers "
+                    "(host:port addresses, one worker slot each)"
+                )
+            return len(config.remote_workers)
+        return resolve_workers(config.workers)
+
+    @staticmethod
+    def _build_engine(
+        config: OrchestratorConfig, workers: int
+    ) -> ParallelCampaignEngine:
+        """The dispatch engine for the config's transport choice."""
+        if config.transport == "local":
+            return ParallelCampaignEngine(workers=workers)
+        from repro.core.remote import LoopbackTransport, SocketTransport
+
+        if config.transport == "loopback":
+            return ParallelCampaignEngine(
+                transport=LoopbackTransport(slots=workers)
+            )
+        if config.transport == "socket":
+            return ParallelCampaignEngine(
+                transport=SocketTransport(config.remote_workers)
+            )
+        raise ValueError(
+            f"unknown transport {config.transport!r}; choose from "
+            "local, loopback, socket"
+        )
+
+    @staticmethod
+    def _wire_coordinator(
+        config: OrchestratorConfig,
+        engine: ParallelCampaignEngine,
+        coordinator: SolverCacheCoordinator,
+    ) -> None:
+        """Connect the merge push channel, when the transport has one."""
+        if config.share_solver_caches and engine.push_channel is not None:
+            coordinator.attach_push_channel(engine.push_channel)
+
+    @staticmethod
+    def _record_wire_stats(
+        result: CampaignResult, engine: ParallelCampaignEngine
+    ) -> None:
+        result.wire_bytes_sent = getattr(engine.transport, "bytes_sent", 0)
+        result.wire_bytes_received = getattr(
+            engine.transport, "bytes_received", 0
+        )
+
+    @staticmethod
     def _cache_coordinator(
         config: OrchestratorConfig, nodes: list[str]
     ) -> SolverCacheCoordinator:
@@ -336,6 +413,7 @@ class DiceOrchestrator:
     ) -> None:
         result.cache_bytes_shipped_out = coordinator.bytes_shipped_out
         result.cache_bytes_shipped_in = coordinator.bytes_shipped_in
+        result.cache_bytes_pushed = coordinator.bytes_pushed
         result.cache_bytes_full_out = coordinator.bytes_full_out
         result.cache_bytes_full_in = coordinator.bytes_full_in
         result.cache_entries_merged = coordinator.entries_merged
@@ -421,10 +499,34 @@ class DiceOrchestrator:
         capture_started = time.perf_counter()
         snapshot = self._capture(node, config.snapshot_mode)
         captured = time.perf_counter() - capture_started
-        result.snapshots_taken += 1
         result.capture_wall_s += captured
         result.capture_blocked_s += captured
         # Steps 3-5: explore inputs over clones.
+        self._explore_snapshot_inline(
+            config, cycle, node, snapshot,
+            detected_at=self._live.network.sim.now,
+            started=started, result=result, coordinator=coordinator,
+        )
+
+    def _explore_snapshot_inline(
+        self,
+        config: OrchestratorConfig,
+        cycle: int,
+        node: str,
+        snapshot,
+        detected_at: float,
+        started: float,
+        result: CampaignResult,
+        coordinator: SolverCacheCoordinator,
+    ) -> None:
+        """One in-process exploration session over a captured snapshot.
+
+        The single definition of serial exploration, shared by the
+        plain serial loop and the serial-pipelined path — the
+        bit-identity contract between them rests on both calling
+        exactly this.
+        """
+        result.snapshots_taken += 1
         explorer = Explorer(
             snapshot, self._suite, self._claims,
             process_factory=self._factory,
@@ -445,9 +547,67 @@ class DiceOrchestrator:
             result,
             node_report,
             snapshot_id=snapshot.snapshot_id,
-            detected_at=self._live.network.sim.now,
+            detected_at=detected_at,
             started=started,
         )
+
+    def _run_campaign_serial_pipelined(
+        self, config: OrchestratorConfig
+    ) -> CampaignResult:
+        """``workers=1`` with capture overlap: prefetch, explore inline.
+
+        The pipeline's capture thread runs the marker protocol for
+        upcoming ``(cycle, node)`` pairs while this thread explores the
+        current one inline — the same hidden-capture benefit parallel
+        campaigns get, for serial ones.  Exploration uses the serial
+        path's in-place caches: no tasks, no syncs, nothing pickled or
+        shipped, so results *and* transport counters are identical to
+        the plain serial loop (``cache_syncs == 0`` stays the serial
+        contract).  Captures still execute strictly in serial order on
+        the single producer thread, so snapshots and ``detected_at``
+        stamps are bit-identical; with ``stop_after_first_fault`` the
+        drain discards prefetched captures, and counters — per merged
+        session, as everywhere — match the serial early stop.
+        """
+        started = time.perf_counter()
+        result = CampaignResult(workers=1, pipelined=True)
+        nodes = self._campaign_nodes(config)
+        coordinator = self._cache_coordinator(config, nodes)
+        requests = plan_captures(nodes, config.cycles)
+
+        def capture_one(request):
+            snapshot = self._capture(request.node, config.snapshot_mode)
+            detected_at = self._live.network.sim.now
+            self._advance_live(config)
+            return snapshot, detected_at
+
+        done = False
+        with SnapshotPipeline(capture_one, requests,
+                              depth=len(nodes)) as pipeline:
+            for cycle in range(config.cycles):
+                for node in nodes:
+                    waited = time.perf_counter()
+                    captured = pipeline.next_capture()
+                    result.capture_blocked_s += (
+                        time.perf_counter() - waited
+                    )
+                    result.capture_wall_s += captured.capture_wall_s
+                    self._explore_snapshot_inline(
+                        config, cycle, node, captured.snapshot,
+                        detected_at=captured.detected_at,
+                        started=started, result=result,
+                        coordinator=coordinator,
+                    )
+                    if config.stop_after_first_fault and result.reports:
+                        done = True
+                        break
+                if done:
+                    break
+                coordinator.end_cycle()
+                result.cycles_completed = cycle + 1
+        self._finalize_cache_stats(result, coordinator)
+        result.wall_time_s = time.perf_counter() - started
+        return result
 
     # -- parallel path --
 
@@ -466,7 +626,7 @@ class DiceOrchestrator:
         merged result is identical either way.
         """
         started = time.perf_counter()
-        result = CampaignResult(workers=workers)
+        result = CampaignResult(workers=workers, transport=config.transport)
         nodes = self._campaign_nodes(config)
         claims_spec = claims_to_spec(self._claims)
         coordinator = self._cache_coordinator(config, nodes)
@@ -476,7 +636,8 @@ class DiceOrchestrator:
                 coordinator,
             )
         done = False
-        with ParallelCampaignEngine(workers=workers) as engine:
+        with self._build_engine(config, workers) as engine:
+            self._wire_coordinator(config, engine, coordinator)
             for cycle in range(config.cycles):
                 tasks = []
                 for index, node in enumerate(nodes):
@@ -514,6 +675,7 @@ class DiceOrchestrator:
                     break
                 coordinator.end_cycle()
                 result.cycles_completed = cycle + 1
+            self._record_wire_stats(result, engine)
         self._finalize_cache_stats(result, coordinator)
         result.wall_time_s = time.perf_counter() - started
         return result
@@ -619,10 +781,11 @@ class DiceOrchestrator:
             return snapshot, detected_at
 
         done = False
-        with ParallelCampaignEngine(workers=workers) as engine, \
+        with self._build_engine(config, workers) as engine, \
                 SnapshotPipeline(capture_one, requests,
                                  depth=len(nodes),
                                  prepare_fn=pickle.dumps) as pipeline:
+            self._wire_coordinator(config, engine, coordinator)
             for cycle in range(config.cycles):
                 futures = []
                 for index, node in enumerate(nodes):
@@ -667,6 +830,7 @@ class DiceOrchestrator:
                     break
                 coordinator.end_cycle()
                 result.cycles_completed = cycle + 1
+            self._record_wire_stats(result, engine)
         self._finalize_cache_stats(result, coordinator)
         result.wall_time_s = time.perf_counter() - started
         return result

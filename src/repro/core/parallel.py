@@ -17,7 +17,10 @@ module shards those sessions across worker processes:
   slot) and returns :class:`TaskOutcome` objects **in task order**,
   regardless of worker completion order, so the orchestrator's merge —
   and therefore fault reports, seeds, and counters — is identical at
-  any worker count.
+  any worker count.  *Where* the slots live is a pluggable
+  :class:`WorkerTransport`: inline (:class:`InlineTransport`), local
+  process pools (:class:`LocalPoolTransport`), or the remote loopback
+  and TCP-socket transports in :mod:`repro.core.remote`.
 
 Solver-cache transport is delta-shipped: instead of pickling each
 node's whole warm :class:`~repro.concolic.solver.SolverCache` to and
@@ -43,15 +46,17 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import uuid
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Protocol, Sequence
 
 from repro.bgp.ip import Prefix
 from repro.concolic.solver import (
     CacheDelta,
     CacheEvent,
     SolverCache,
+    model_events,
     pack_events,
     unpack_events,
 )
@@ -120,55 +125,164 @@ class CacheSync:
     merge_blob: bytes | None = field(default=None, repr=False)
 
 
-# Per-process replica store: one cache per node plus the latest merge
-# blob, scoped by campaign token.  Lives at module level so it survives
-# across tasks in a pool worker (fork or spawn — the process persists
-# either way).
-_WORKER_REPLICAS: dict = {
-    "token": None, "caches": {}, "epochs": {},
-    "blob_id": 0, "blob_events": (),
-}
+class ReplicaStore:
+    """One worker's per-node solver-cache replicas plus merge staging.
+
+    A pool worker process, the in-process inline path, and a remote
+    worker daemon each hold exactly one store: replicas stay warm
+    across the tasks (and, for long-lived daemons, the cycles) that
+    land on that worker, scoped to one campaign by the sync token.
+
+    The cross-node merge blob reaches a store by either route:
+
+    * **piggybacked** — a :class:`CacheSync` carries ``merge_blob`` the
+      first time a slot sees an epoch (local pools, which have no
+      side channel);
+    * **pushed** — transports with a push channel stream the epoch's
+      events as :meth:`stage_chunk` calls while the cycle is still
+      merging, then seal them with :meth:`commit_epoch`; the blob is
+      already resident when the next cycle's first task arrives.
+
+    Either way the events are *applied* to a node's replica only when a
+    task's sync references the epoch — the deterministic point the
+    orchestrator's mirror applies them too — so push cadence can never
+    change cache state, only when the bytes travel.
+    """
+
+    def __init__(self):
+        self.token: str | None = None
+        self.caches: dict[str, SolverCache] = {}
+        self.epochs: dict[str, int] = {}
+        self.blob_id = 0
+        self.blob_events: tuple[CacheEvent, ...] = ()
+        # epoch -> {seq -> packed events}: push-channel chunks waiting
+        # for their commit.  Keyed idempotently so a daemon serving two
+        # orchestrator connections stages each chunk once.
+        self.staged: dict[int, dict[int, bytes]] = {}
+
+    def _rescope(self, token: str) -> None:
+        """Reset everything when a new campaign starts using the store."""
+        if self.token != token:
+            self.token = token
+            self.caches = {}
+            self.epochs = {}
+            self.blob_id = 0
+            self.blob_events = ()
+            self.staged = {}
+
+    def stage_chunk(self, token: str, epoch: int, seq: int,
+                    packed: bytes) -> None:
+        """Buffer one pushed slice of a future merge epoch's events."""
+        self._rescope(token)
+        self.staged.setdefault(epoch, {}).setdefault(seq, packed)
+
+    def commit_epoch(self, token: str, epoch: int, chunks: int) -> None:
+        """Seal a pushed epoch: assemble its chunks into the merge blob."""
+        self._rescope(token)
+        if epoch == self.blob_id:
+            return  # duplicate commit (second connection to one daemon)
+        staged = self.staged.pop(epoch, {})
+        if sorted(staged) != list(range(chunks)):
+            raise RuntimeError(
+                f"merge epoch {epoch} committed with chunks "
+                f"{sorted(staged)}, expected 0..{chunks - 1}"
+            )
+        events: list[CacheEvent] = []
+        for seq in range(chunks):
+            events.extend(unpack_events(staged[seq]))
+        self.blob_id = epoch
+        self.blob_events = tuple(events)
+
+    def replica_for(self, sync: CacheSync) -> SolverCache:
+        """The replica for one node, synced to the task."""
+        self._rescope(sync.token)
+        if sync.merge_blob is not None and sync.merge_id != self.blob_id:
+            self.blob_id = sync.merge_id
+            self.blob_events = unpack_events(sync.merge_blob)
+        cache = self.caches.get(sync.node)
+        if cache is None:
+            cache = SolverCache(max_entries=sync.max_entries)
+            self.caches[sync.node] = cache
+        if cache.generation != sync.base_generation:
+            raise RuntimeError(
+                f"solver-cache replica for {sync.node!r} is at generation "
+                f"{cache.generation} but the task expects "
+                f"{sync.base_generation}; tasks for one node must stay on "
+                "one worker slot"
+            )
+        if sync.merge_id:
+            applied = self.epochs.get(sync.node, 0)
+            if applied != sync.merge_id:
+                if applied != sync.merge_id - 1 or self.blob_id != sync.merge_id:
+                    raise RuntimeError(
+                        f"solver-cache replica for {sync.node!r} missed "
+                        f"merge epoch {sync.merge_id} (applied {applied}, "
+                        f"blob {self.blob_id})"
+                    )
+                cache.merge_delta(self.blob_events)
+                self.epochs[sync.node] = sync.merge_id
+        return cache
+
+
+# The calling process's store: pool worker processes (fork or spawn —
+# the process persists either way) and the inline workers<=1 path both
+# use it; remote worker daemons hold their own instance.
+_WORKER_REPLICAS = ReplicaStore()
 
 
 def _replica_for(sync: CacheSync) -> SolverCache:
-    """The worker-local replica for one node, synced to the task."""
-    store = _WORKER_REPLICAS
-    if store["token"] != sync.token:
-        store["token"] = sync.token
-        store["caches"] = {}
-        store["epochs"] = {}
-        store["blob_id"] = 0
-        store["blob_events"] = ()
-    if sync.merge_blob is not None and sync.merge_id != store["blob_id"]:
-        store["blob_id"] = sync.merge_id
-        store["blob_events"] = unpack_events(sync.merge_blob)
-    caches: dict[str, SolverCache] = store["caches"]
-    cache = caches.get(sync.node)
-    if cache is None:
-        cache = SolverCache(max_entries=sync.max_entries)
-        caches[sync.node] = cache
-    if cache.generation != sync.base_generation:
-        raise RuntimeError(
-            f"solver-cache replica for {sync.node!r} is at generation "
-            f"{cache.generation} but the task expects "
-            f"{sync.base_generation}; tasks for one node must stay on "
-            "one worker slot"
-        )
-    if sync.merge_id:
-        applied = store["epochs"].get(sync.node, 0)
-        if applied != sync.merge_id:
-            if applied != sync.merge_id - 1 or store["blob_id"] != sync.merge_id:
-                raise RuntimeError(
-                    f"solver-cache replica for {sync.node!r} missed merge "
-                    f"epoch {sync.merge_id} (applied {applied}, blob "
-                    f"{store['blob_id']})"
-                )
-            cache.merge_delta(store["blob_events"])
-            store["epochs"][sync.node] = sync.merge_id
-    return cache
+    """The process-global replica for one node, synced to the task."""
+    return _WORKER_REPLICAS.replica_for(sync)
 
 
 _SYNC_TOKENS = itertools.count(1)
+
+
+class PushChannel(Protocol):
+    """Out-of-band path from the orchestrator to every worker slot.
+
+    Both methods broadcast to all slots and return the wire bytes that
+    cost (0 for in-process transports that only hand references around).
+    """
+
+    def push_chunk(self, token: str, epoch: int, seq: int,
+                   packed: bytes) -> int:
+        """Deliver one slice of merge epoch ``epoch``'s events."""
+        ...
+
+    def push_commit(self, token: str, epoch: int, chunks: int) -> int:
+        """Seal epoch ``epoch`` after its ``chunks`` slices all shipped."""
+        ...
+
+
+class WorkerTransport(Protocol):
+    """Where exploration tasks run: the engine's dispatch backend.
+
+    A transport owns ``slots`` ordered worker slots.  The engine's
+    sticky per-node routing guarantees every task for one node lands on
+    one slot, which is what lets a slot hold that node's solver-cache
+    replica across tasks (and, for long-lived remote workers, across
+    cycles).  Implementations: inline and process-pool slots live here
+    (:class:`InlineTransport`, :class:`LocalPoolTransport`); framed
+    loopback and TCP-socket transports live in
+    :mod:`repro.core.remote`.
+
+    ``supports_push`` advertises the optional :class:`PushChannel`
+    methods; the orchestrator attaches push-capable transports to the
+    :class:`SolverCacheCoordinator` so merge events stream to workers
+    at a finer-than-cycle cadence.
+    """
+
+    slots: int
+    supports_push: bool
+
+    def submit(self, slot: int, task: "ExplorationTask") -> "Future[TaskOutcome]":
+        """Schedule one task on ``slot``; the future yields its outcome."""
+        ...
+
+    def close(self) -> None:
+        """Release worker resources; pending undelivered work is cancelled."""
+        ...
 
 
 def _dedup_events(events: list[CacheEvent]) -> tuple[CacheEvent, ...]:
@@ -219,7 +333,12 @@ class SolverCacheCoordinator:
 
     def __init__(self, nodes: Sequence[str], max_entries: int = 4096,
                  share: bool = True, measure_baseline: bool = True):
-        self.token = f"{os.getpid()}:{next(_SYNC_TOKENS)}"
+        # pid:counter alone could repeat after OS PID recycling, and a
+        # long-lived remote worker daemon rescopes its warm replicas by
+        # token inequality — so make tokens globally unique.
+        self.token = (
+            f"{os.getpid()}:{next(_SYNC_TOKENS)}:{uuid.uuid4().hex[:12]}"
+        )
         self._nodes = list(nodes)
         self._max_entries = max_entries
         self._share = share
@@ -240,8 +359,15 @@ class SolverCacheCoordinator:
         self._pending_blob: bytes | None = None
         self._blob_slots: set[int] = set()
         self._cycle_deltas: list[CacheDelta] = []
+        # Push channel (remote transports): merge events stream to the
+        # long-lived workers as outcomes merge, instead of riding the
+        # next cycle's first sync per slot.
+        self._push_channel: PushChannel | None = None
+        self._push_seq = 0
+        self._push_seen: set = set()
         self.bytes_shipped_out = 0
         self.bytes_shipped_in = 0
+        self.bytes_pushed = 0
         self.bytes_full_out = 0
         self.bytes_full_in = 0
         self.entries_merged = 0
@@ -251,6 +377,42 @@ class SolverCacheCoordinator:
     def share(self) -> bool:
         """Whether cross-node merging is enabled."""
         return self._share
+
+    def attach_push_channel(self, channel: "PushChannel") -> None:
+        """Stream merge events to long-lived workers as they appear.
+
+        With a channel attached, each absorbed outcome's fresh model
+        events are pushed immediately (finer-than-cycle cadence) and
+        :meth:`end_cycle` seals the epoch with a commit instead of
+        attaching the blob to the next cycle's first per-slot sync.
+        Workers *apply* the events only when a task's sync references
+        the committed epoch — the same deterministic point as every
+        other mode — so the cadence moves bytes, never results.
+        """
+        self._push_channel = channel
+
+    def _push_fresh(self, delta: CacheDelta) -> None:
+        """Push one outcome's not-yet-seen model events down the channel.
+
+        The incremental dedup (first occurrence in task order wins)
+        makes the concatenation of all pushed chunks equal the blob
+        :meth:`end_cycle` computes, so pushed replicas and the mirror
+        fold identical event sequences.
+        """
+        fresh = tuple(
+            event
+            for event in model_events(delta.events)
+            if (event[0], event[1]) not in self._push_seen
+        )
+        for event in fresh:
+            self._push_seen.add((event[0], event[1]))
+        if not fresh:
+            return
+        self.bytes_pushed += self._push_channel.push_chunk(
+            self.token, self._merge_epoch + 1, self._push_seq,
+            pack_events(fresh),
+        )
+        self._push_seq += 1
 
     def cache_for(self, node: str) -> SolverCache:
         """The authoritative cache (serial explorers use it in place)."""
@@ -293,6 +455,8 @@ class SolverCacheCoordinator:
         self._shipped_generation[delta.node] = cache.generation
         if self._share:
             self._cycle_deltas.append(delta)
+            if self._push_channel is not None:
+                self._push_fresh(delta)
 
     def record_local(self, node: str) -> None:
         """Serial-path equivalent of :meth:`absorb`: drain the journal."""
@@ -317,14 +481,16 @@ class SolverCacheCoordinator:
         """
         deltas = self._cycle_deltas
         self._cycle_deltas = []
+        pushed_chunks = self._push_seq
+        self._push_seq = 0
+        self._push_seen = set()
         if not self._share:
             return
         events = _dedup_events(
             [
                 event
                 for delta in deltas
-                for event in delta.events
-                if event[0] == "m"
+                for event in model_events(delta.events)
             ]
         )
         if not events:
@@ -332,7 +498,15 @@ class SolverCacheCoordinator:
         for node in self._nodes:
             self.entries_merged += self._caches[node].merge_delta(events)
         self._merge_epoch += 1
-        self._pending_blob = pack_events(events)
+        if self._push_channel is not None:
+            # The chunks already pushed are exactly these events; the
+            # commit seals them worker-side, so no blob rides the syncs.
+            self.bytes_pushed += self._push_channel.push_commit(
+                self.token, self._merge_epoch, pushed_chunks
+            )
+            self._pending_blob = None
+        else:
+            self._pending_blob = pack_events(events)
         self._blob_slots.clear()
 
     def state_fingerprints(self) -> dict[str, int]:
@@ -416,11 +590,19 @@ class TaskOutcome:
     cache_delta: CacheDelta | None = field(default=None, repr=False)
 
 
-def run_exploration_task(task: ExplorationTask) -> TaskOutcome:
-    """Worker entry point: run one exploration session start to finish."""
+def run_exploration_task(
+    task: ExplorationTask, replicas: ReplicaStore | None = None
+) -> TaskOutcome:
+    """Worker entry point: run one exploration session start to finish.
+
+    ``replicas`` selects the solver-cache replica store — remote worker
+    daemons pass their own long-lived store; pool workers and the
+    inline path default to the process-global one.
+    """
     snapshot = task.resolve_snapshot()
+    store = _WORKER_REPLICAS if replicas is None else replicas
     cache = (
-        _replica_for(task.cache_sync)
+        store.replica_for(task.cache_sync)
         if task.cache_sync is not None
         else None
     )
@@ -449,22 +631,96 @@ def run_exploration_task(task: ExplorationTask) -> TaskOutcome:
 
 
 def resolve_workers(workers: int | None) -> int:
-    """Normalize a worker-count knob: None = one per CPU, floor 1."""
+    """Normalize a worker-count knob: None = one per usable CPU, floor 1."""
     if workers is None:
-        return os.cpu_count() or 1
+        return available_cpus()
     return max(1, workers)
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's CPUs even inside
+    cgroup/affinity-limited containers (CI runners routinely pin 2 of
+    64), which would oversubscribe the pool; the scheduler affinity
+    mask is the truth wherever the platform exposes it.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
+class InlineTransport:
+    """Runs every task synchronously in the calling process.
+
+    The ``workers <= 1`` backend: no fork, no pickling, and the
+    process-global replica store — benchmarks' apples-to-apples serial
+    baseline.  Control-flow exceptions (``KeyboardInterrupt``,
+    ``SystemExit``) propagate to the caller instead of being stuffed
+    into the future: an operator's Ctrl-C must abort the campaign, not
+    masquerade as one failed task.
+    """
+
+    slots = 1
+    supports_push = False
+
+    def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+        future: Future[TaskOutcome] = Future()
+        try:
+            future.set_result(run_exploration_task(task))
+        except Exception as error:
+            future.set_exception(error)
+        return future
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class LocalPoolTransport:
+    """One single-process :class:`ProcessPoolExecutor` per slot.
+
+    Pools are created lazily on first use and reaped by :meth:`close`;
+    pending tasks are cancelled on close (the
+    ``stop_after_first_fault`` abort path), leaving already-merged
+    results untouched.
+    """
+
+    supports_push = False
+
+    def __init__(self, slots: int):
+        self.slots = max(1, slots)
+        self._pools: list[ProcessPoolExecutor | None] = [None] * self.slots
+
+    def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+        pool = self._pools[slot]
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=1)
+            self._pools[slot] = pool
+        return pool.submit(run_exploration_task, task)
+
+    def close(self) -> None:
+        for index, pool in enumerate(self._pools):
+            if pool is not None:
+                pool.shutdown(cancel_futures=True)
+                self._pools[index] = None
+
+
 class ParallelCampaignEngine:
-    """Shards exploration tasks across worker slots.
+    """Shards exploration tasks across one transport's worker slots.
 
-    With ``workers <= 1`` tasks run inline in the calling process — the
-    same code path minus the pool, which keeps single-worker campaigns
-    cheap (no fork, no pickling) and gives benchmarks an apples-to-
-    apples serial baseline.
+    The engine owns *routing and ordering*; where tasks actually run is
+    the :class:`WorkerTransport`'s business.  By default the transport
+    is picked from ``workers``: inline in-process for ``workers <= 1``
+    (no fork, no pickling — the serial baseline), per-slot local
+    process pools otherwise.  Remote transports
+    (:mod:`repro.core.remote`) plug into the same interface, so the
+    orchestrator is transport-agnostic.
 
-    Use as a context manager (or call :meth:`close`) so pooled workers
-    are reaped; each slot's pool is created lazily on first use.
+    Use as a context manager (or call :meth:`close`) so worker
+    resources are released.
 
     Determinism contract: the engine never reorders results — batch
     :meth:`run` returns outcomes sorted by task index, and callers of
@@ -476,10 +732,29 @@ class ParallelCampaignEngine:
     so the next cycle's task needs only a delta, not the warm cache.
     """
 
-    def __init__(self, workers: int | None = None):
-        self.workers = resolve_workers(workers)
-        self._slots: list[ProcessPoolExecutor | None] = [None] * self.workers
+    def __init__(self, workers: int | None = None,
+                 transport: WorkerTransport | None = None):
+        if transport is None:
+            count = resolve_workers(workers)
+            transport = (
+                InlineTransport() if count <= 1
+                else LocalPoolTransport(count)
+            )
+        self._transport = transport
+        self.workers = transport.slots
         self._slot_of: dict[str, int] = {}
+
+    @property
+    def transport(self) -> WorkerTransport:
+        """The dispatch backend tasks run on."""
+        return self._transport
+
+    @property
+    def push_channel(self) -> PushChannel | None:
+        """The transport's push channel, when it has one."""
+        if getattr(self._transport, "supports_push", False):
+            return self._transport  # type: ignore[return-value]
+        return None
 
     def __enter__(self) -> "ParallelCampaignEngine":
         return self
@@ -488,17 +763,14 @@ class ParallelCampaignEngine:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker slots, if any were started.
+        """Release the transport's workers.
 
         Tasks already submitted but not yet started are cancelled —
         relevant when a pipelined campaign aborts on
         ``stop_after_first_fault``; results merged before the abort are
         unaffected.
         """
-        for index, pool in enumerate(self._slots):
-            if pool is not None:
-                pool.shutdown(cancel_futures=True)
-                self._slots[index] = None
+        self._transport.close()
 
     def slot_for(self, node: str) -> int:
         """The (sticky, deterministic) worker slot for one node."""
@@ -508,13 +780,6 @@ class ParallelCampaignEngine:
             self._slot_of[node] = slot
         return slot
 
-    def _pool(self, slot: int) -> ProcessPoolExecutor:
-        pool = self._slots[slot]
-        if pool is None:
-            pool = ProcessPoolExecutor(max_workers=1)
-            self._slots[slot] = pool
-        return pool
-
     def submit(self, task: ExplorationTask) -> "Future[TaskOutcome]":
         """Schedule one task; returns a future resolving to its outcome.
 
@@ -522,18 +787,9 @@ class ParallelCampaignEngine:
         submits each task as soon as its snapshot arrives from the
         capture pipeline and resolves the futures strictly in task
         order, so the merge is identical to :meth:`run`'s sorted batch.
-        With ``workers <= 1`` the task runs inline, immediately.
+        On the inline transport the task runs immediately.
         """
-        if self.workers <= 1:
-            future: Future[TaskOutcome] = Future()
-            try:
-                future.set_result(run_exploration_task(task))
-            except BaseException as error:  # noqa: BLE001 - via future
-                future.set_exception(error)
-            return future
-        return self._pool(self.slot_for(task.node)).submit(
-            run_exploration_task, task
-        )
+        return self._transport.submit(self.slot_for(task.node), task)
 
     def run(self, tasks: Sequence[ExplorationTask]) -> list[TaskOutcome]:
         """Execute a batch; outcomes come back sorted by task index."""

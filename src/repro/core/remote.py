@@ -1,0 +1,648 @@
+"""Remote worker transport: exploration tasks over a wire.
+
+The campaign loop scales past one machine by dispatching the already
+picklable :class:`~repro.core.parallel.ExplorationTask`s to long-lived
+worker daemons instead of local pool processes.  This module supplies
+everything between :class:`~repro.core.parallel.ParallelCampaignEngine`
+and those daemons:
+
+* a **frame codec** — length-prefixed pickle frames (4-byte big-endian
+  length, then the pickled message tuple), the entire wire format;
+* :class:`RemoteWorkerState` — one daemon's long-lived state: the
+  per-node solver-cache :class:`~repro.core.parallel.ReplicaStore`
+  held warm across cycles (and campaigns — a new campaign token
+  resets it) plus serialized task execution;
+* :class:`LoopbackTransport` — the remote protocol run fully
+  in-process: every message round-trips through the frame codec, so
+  tests and CI exercise encode/decode, replica warm-keeping, and the
+  push channel without opening sockets;
+* :class:`SocketTransport` — the real thing: one persistent TCP
+  connection per worker slot, pipelined request/response (frames
+  answered in order per connection), a reader thread resolving
+  futures, byte accounting for the dispatch benchmark;
+* :class:`WorkerServer` / :func:`serve_worker` — the ``repro
+  remote-worker`` daemon.
+
+Messages (pickled tuples, first element the kind):
+
+=============================================  ==============================
+orchestrator → worker                          worker → orchestrator
+=============================================  ==============================
+``("task", request_id, ExplorationTask)``      ``("outcome", request_id,
+                                               TaskOutcome)`` or ``("error",
+                                               request_id, summary,
+                                               traceback)``
+``("chunk", token, epoch, seq, packed)``       *(no response)*
+``("commit", token, epoch, chunks)``           *(no response)*
+``("ping",)``                                  ``("pong", tasks_run)``
+=============================================  ==============================
+
+Determinism contract: a transport changes *where* a task runs and
+*when* merge bytes travel, never results.  The engine's sticky routing
+keeps each node's tasks on one slot/daemon, per-connection FIFO
+guarantees chunks and commits land between the cycles they separate,
+and pushed merge events are applied only when a task's
+:class:`~repro.core.parallel.CacheSync` references the committed epoch
+— the same point every other execution mode applies them — so fault
+reports and cache ``state_fingerprints`` are bit-identical to serial
+mode at any worker count (gated by
+``benchmarks/bench_remote_dispatch.py`` and the CI remote-smoke job).
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import socket
+import struct
+import sys
+import threading
+import traceback
+from collections import deque
+from concurrent.futures import Future
+
+from repro.core.parallel import (
+    ExplorationTask,
+    ReplicaStore,
+    TaskOutcome,
+    run_exploration_task,
+)
+
+_HEADER = struct.Struct(">I")
+# Sanity bound, not a protocol limit: a task frame is ~100 KiB and a
+# merge chunk O(KB); anything near this is a corrupted length prefix.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class RemoteWorkerError(RuntimeError):
+    """A task failed on, or was lost by, a remote worker."""
+
+
+# -- frame codec --------------------------------------------------------------
+
+
+def encode_frame(message: tuple) -> bytes:
+    """One message as a length-prefixed pickle frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(frame: bytes) -> tuple:
+    """Inverse of :func:`encode_frame` (whole frame in hand)."""
+    if len(frame) < _HEADER.size:
+        raise ValueError("frame shorter than its length prefix")
+    (length,) = _HEADER.unpack_from(frame)
+    if length != len(frame) - _HEADER.size:
+        raise ValueError(
+            f"frame length prefix says {length} payload bytes, got "
+            f"{len(frame) - _HEADER.size}"
+        )
+    return pickle.loads(frame[_HEADER.size:])
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on clean EOF at a boundary."""
+    data = bytearray()
+    while len(data) < count:
+        chunk = sock.recv(count - len(data))
+        if not chunk:
+            if not data:
+                return None
+            raise ConnectionError("connection closed mid-frame")
+        data.extend(chunk)
+    return bytes(data)
+
+
+def recv_message(sock: socket.socket) -> tuple[tuple, int] | None:
+    """Read one framed message; returns (message, wire bytes) or None
+    on clean end-of-stream."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"incoming frame claims {length} bytes; refusing "
+            "(corrupted length prefix?)"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ConnectionError("connection closed mid-frame")
+    return pickle.loads(payload), _HEADER.size + length
+
+
+def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
+    """Normalize a ``host:port`` string (or pair) to a (host, port)."""
+    if isinstance(address, tuple):
+        host, port = address
+        return host, int(port)
+    host, separator, port = address.strip().rpartition(":")
+    if not separator or not host:
+        raise ValueError(
+            f"remote worker address {address!r} is not host:port"
+        )
+    return host, int(port)
+
+
+# -- worker side --------------------------------------------------------------
+
+
+def _message_token(message: tuple) -> str | None:
+    """The campaign sync token a message carries, if any."""
+    kind = message[0]
+    if kind == "task":
+        sync = getattr(message[2], "cache_sync", None)
+        return sync.token if sync is not None else None
+    if kind in ("chunk", "commit"):
+        return message[1]
+    return None
+
+
+class RemoteWorkerState:
+    """One worker daemon's long-lived state.
+
+    Tasks execute under a lock, strictly serialized: a daemon is one
+    worker *slot*, and its solver-cache replicas (``replicas``) assume
+    the per-slot event order the determinism contract prescribes.  The
+    state outlives connections and campaigns — replicas stay warm
+    across cycles, and a new campaign's sync token resets them.
+
+    One campaign at a time: the lock serializes messages, but a
+    *second* campaign's token would rescope the store under the first
+    one mid-run.  When callers identify their connection (``client``),
+    a frame carrying a new token while another live connection is
+    still using the current one is rejected instead of wiping the
+    store (sequential campaigns — the old connection gone — take over
+    silently, which is the designed hand-off).
+    """
+
+    def __init__(self):
+        self.replicas = ReplicaStore()
+        self.tasks_run = 0
+        self._lock = threading.Lock()
+        # client id -> the sync token that connection last used.
+        self._claims: dict[int, str] = {}
+
+    def release(self, client: int) -> None:
+        """Forget a closed connection's campaign claim."""
+        with self._lock:
+            self._claims.pop(client, None)
+
+    def _claim(self, token: str | None, client: int | None) -> None:
+        """Record who is using the store; reject a campaign takeover."""
+        if token is None or client is None:
+            return
+        current = self.replicas.token
+        if (
+            current is not None
+            and token != current
+            and any(
+                owner != client and owned == current
+                for owner, owned in self._claims.items()
+            )
+        ):
+            raise RuntimeError(
+                "daemon is serving another campaign "
+                f"(token {current!r}); refusing token {token!r}"
+            )
+        self._claims[client] = token
+
+    def handle(self, message: tuple, client: int | None = None) -> tuple | None:
+        """Process one decoded message; returns the response or None.
+
+        Task failures come back as ``("error", ...)`` frames rather
+        than killing the daemon; control-flow exceptions
+        (``KeyboardInterrupt``/``SystemExit``) propagate — stopping the
+        daemon is the operator's business, not a task outcome.
+        """
+        kind = message[0]
+        with self._lock:
+            self._claim(_message_token(message), client)
+            if kind == "task":
+                _, request_id, task = message
+                try:
+                    outcome = run_exploration_task(task,
+                                                   replicas=self.replicas)
+                except Exception as error:
+                    return ("error", request_id,
+                            f"{type(error).__name__}: {error}",
+                            traceback.format_exc())
+                self.tasks_run += 1
+                return ("outcome", request_id, outcome)
+            if kind == "chunk":
+                _, token, epoch, seq, packed = message
+                self.replicas.stage_chunk(token, epoch, seq, packed)
+                return None
+            if kind == "commit":
+                _, token, epoch, chunks = message
+                self.replicas.commit_epoch(token, epoch, chunks)
+                return None
+            if kind == "ping":
+                return ("pong", self.tasks_run)
+        raise ValueError(f"unknown message kind {kind!r}")
+
+
+class WorkerServer:
+    """The ``repro remote-worker`` daemon: a TCP server around one
+    :class:`RemoteWorkerState`.
+
+    Accepts any number of orchestrator connections over its lifetime
+    (campaigns come and go; the daemon and its warm replicas persist).
+    Each connection gets a handler thread; the state lock serializes
+    message handling, and the per-connection campaign claim rejects a
+    second concurrent campaign's frames instead of letting its token
+    rescope the store under the first (see
+    :class:`RemoteWorkerState`).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._listener = socket.create_server((host, port))
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self.state = RemoteWorkerState()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+
+    def start(self) -> "WorkerServer":
+        """Serve on a background thread (tests, embedded workers)."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"remote-worker-{self.address[1]}", daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`close`."""
+        self._listener.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name=f"remote-worker-conn-{self.address[1]}", daemon=True,
+            )
+            thread.start()
+            # Prune finished handlers so a daemon serving many
+            # campaigns over its lifetime does not accumulate them.
+            self._threads = [
+                alive for alive in self._threads if alive.is_alive()
+            ]
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        client = id(conn)
+        try:
+            while not self._stop.is_set():
+                received = recv_message(conn)
+                if received is None:
+                    return
+                message = received[0]
+                try:
+                    response = self.state.handle(message, client=client)
+                except Exception as error:
+                    # Protocol-level failures (claim rejection, merge
+                    # epoch mismatch, unknown kind) must not vanish
+                    # into a dead handler thread: tasks get an error
+                    # frame; push frames have no response channel, so
+                    # surface the cause in the daemon log and drop the
+                    # connection.
+                    if message[0] == "task":
+                        response = ("error", message[1],
+                                    f"{type(error).__name__}: {error}",
+                                    traceback.format_exc())
+                    else:
+                        print(
+                            f"repro remote-worker: {message[0]} frame "
+                            f"rejected: {error}",
+                            file=sys.stderr, flush=True,
+                        )
+                        return
+                if response is not None:
+                    conn.sendall(encode_frame(response))
+        except (ConnectionError, OSError, EOFError,
+                pickle.UnpicklingError):
+            return  # orchestrator went away; the daemon lives on
+        finally:
+            self.state.release(client)
+            conn.close()
+
+    def close(self) -> None:
+        """Stop accepting, close the listener, join handler threads."""
+        self._stop.set()
+        self._listener.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "WorkerServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_worker(host: str = "127.0.0.1", port: int = 0) -> int:
+    """Run a worker daemon in the foreground (the CLI entry point).
+
+    Prints the bound address before serving — with ``port=0`` the OS
+    picks an ephemeral port, and scripts parse it from this line.
+    """
+    server = WorkerServer(host, port)
+    print(
+        f"repro remote-worker listening on "
+        f"{server.address[0]}:{server.address[1]}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+# -- orchestrator side --------------------------------------------------------
+
+
+class LoopbackTransport:
+    """The remote protocol without the network.
+
+    Each slot is a private :class:`RemoteWorkerState`, and every
+    message — tasks, outcomes, merge chunks, commits — round-trips
+    through :func:`encode_frame`/:func:`decode_frame`, so the full
+    serialization path (and its byte counts) is exercised in-process.
+    Execution is synchronous: :meth:`submit` returns an
+    already-resolved future.  This is the transport tests and CI use
+    to gate remote-dispatch determinism without socket plumbing.
+    """
+
+    supports_push = True
+
+    def __init__(self, slots: int = 2):
+        self.slots = max(1, slots)
+        self._states = [RemoteWorkerState() for _ in range(self.slots)]
+        self._request_ids = itertools.count(1)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+
+    def worker_state(self, slot: int) -> RemoteWorkerState:
+        """The slot's worker state (tests poke at replicas through it)."""
+        return self._states[slot]
+
+    def _exchange(self, slot: int, message: tuple) -> tuple | None:
+        frame = encode_frame(message)
+        self.bytes_sent += len(frame)
+        response = self._states[slot].handle(decode_frame(frame))
+        if response is None:
+            return None
+        frame = encode_frame(response)
+        self.bytes_received += len(frame)
+        return decode_frame(frame)
+
+    def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+        if self._closed:
+            raise RuntimeError("loopback transport is closed")
+        future: Future[TaskOutcome] = Future()
+        response = self._exchange(
+            slot, ("task", next(self._request_ids), task)
+        )
+        if response[0] == "error":
+            future.set_exception(
+                RemoteWorkerError(
+                    f"task failed on loopback slot {slot}: "
+                    f"{response[2]}\n{response[3]}"
+                )
+            )
+        else:
+            future.set_result(response[2])
+        return future
+
+    def push_chunk(self, token: str, epoch: int, seq: int,
+                   packed: bytes) -> int:
+        return self._broadcast(("chunk", token, epoch, seq, packed))
+
+    def push_commit(self, token: str, epoch: int, chunks: int) -> int:
+        return self._broadcast(("commit", token, epoch, chunks))
+
+    def _broadcast(self, message: tuple) -> int:
+        if self._closed:
+            raise RuntimeError("loopback transport is closed")
+        before = self.bytes_sent
+        for slot in range(self.slots):
+            self._exchange(slot, message)
+        return self.bytes_sent - before
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class _Connection:
+    """One persistent, pipelined connection to a worker daemon.
+
+    Requests go out under a send lock; a reader thread matches
+    responses to pending futures in FIFO order (the daemon answers
+    each connection's frames in order, so ids are a cross-check, not a
+    routing mechanism).
+    """
+
+    def __init__(self, address: tuple[str, int], timeout: float):
+        self.address = address
+        try:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        except OSError as error:
+            raise RemoteWorkerError(
+                f"cannot reach remote worker at "
+                f"{address[0]}:{address[1]}: {error}"
+            ) from error
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._pending: deque[tuple[int, Future]] = deque()
+        self._pending_lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"remote-reader-{address[0]}:{address[1]}", daemon=True,
+        )
+        self._reader.start()
+
+    def send(self, message: tuple) -> int:
+        frame = encode_frame(message)
+        with self._send_lock:
+            if self._closed:
+                raise RemoteWorkerError(
+                    f"connection to {self.address[0]}:{self.address[1]} "
+                    "is closed"
+                )
+            self._sock.sendall(frame)
+            self.bytes_sent += len(frame)
+        return len(frame)
+
+    def submit(self, task: ExplorationTask) -> "Future[TaskOutcome]":
+        future: Future[TaskOutcome] = Future()
+        request_id = next(self._request_ids)
+        with self._pending_lock:
+            self._pending.append((request_id, future))
+        try:
+            self.send(("task", request_id, task))
+        except (RemoteWorkerError, OSError) as error:
+            with self._pending_lock:
+                if self._pending and self._pending[-1][1] is future:
+                    self._pending.pop()
+            if not future.done():
+                future.set_exception(
+                    error if isinstance(error, RemoteWorkerError)
+                    else RemoteWorkerError(str(error))
+                )
+        return future
+
+    def _read_loop(self) -> None:
+        error: BaseException | None = None
+        try:
+            while True:
+                received = recv_message(self._sock)
+                if received is None:
+                    break
+                message, wire_bytes = received
+                self.bytes_received += wire_bytes
+                kind = message[0]
+                if kind not in ("outcome", "error"):
+                    continue  # pong or future protocol extension
+                with self._pending_lock:
+                    if not self._pending:
+                        raise RemoteWorkerError(
+                            f"unsolicited {kind} frame from "
+                            f"{self.address[0]}:{self.address[1]}"
+                        )
+                    request_id, future = self._pending.popleft()
+                if message[1] != request_id:
+                    raise RemoteWorkerError(
+                        f"response id {message[1]} does not match "
+                        f"pending request {request_id}"
+                    )
+                if kind == "outcome":
+                    future.set_result(message[2])
+                else:
+                    future.set_exception(
+                        RemoteWorkerError(
+                            f"task failed on "
+                            f"{self.address[0]}:{self.address[1]}: "
+                            f"{message[2]}\n{message[3]}"
+                        )
+                    )
+        except BaseException as failure:  # noqa: BLE001 - fanned out below
+            # A recv error caused by our own close() is a clean
+            # shutdown, not a worker failure.
+            error = None if self._closed else failure
+        if error is None and not self._closed and self._pending:
+            # Clean EOF with tasks still in flight: the worker died.
+            error = ConnectionError(
+                "worker closed the connection with tasks in flight"
+            )
+        self._drain_pending(error)
+
+    def _drain_pending(self, error: BaseException | None) -> None:
+        """Resolve every still-pending future after the stream ended.
+
+        With an ``error``, waiters get a :class:`RemoteWorkerError`
+        naming the worker and cause (the futures are pending, so
+        ``set_exception`` must come before any cancel — a cancelled
+        future would swallow the context); on a clean shutdown they
+        are simply cancelled.
+        """
+        with self._pending_lock:
+            pending = list(self._pending)
+            self._pending.clear()
+        for _, future in pending:
+            if error is not None:
+                if not future.done():
+                    future.set_exception(
+                        RemoteWorkerError(
+                            f"connection to {self.address[0]}:"
+                            f"{self.address[1]} failed: {error}"
+                        )
+                    )
+            else:
+                future.cancel()
+
+    def close(self) -> None:
+        with self._send_lock:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+        self._reader.join(timeout=5.0)
+        self._drain_pending(None)
+
+
+class SocketTransport:
+    """Length-prefixed pickle frames over TCP to worker daemons.
+
+    One worker slot per address, one persistent connection per slot,
+    opened eagerly so a dead daemon fails the campaign at start rather
+    than mid-cycle.  Byte counters aggregate across connections for
+    the dispatch benchmark.  :meth:`close` drops the connections and
+    cancels undelivered futures; the daemons — and their warm replicas
+    — live on for the next campaign.
+    """
+
+    supports_push = True
+
+    def __init__(self, addresses, connect_timeout: float = 10.0):
+        parsed = [parse_address(address) for address in addresses]
+        if not parsed:
+            raise ValueError(
+                "socket transport needs at least one worker address"
+            )
+        self.slots = len(parsed)
+        self._connections: list[_Connection] = []
+        try:
+            for address in parsed:
+                self._connections.append(
+                    _Connection(address, timeout=connect_timeout)
+                )
+        except RemoteWorkerError:
+            self.close()
+            raise
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(conn.bytes_sent for conn in self._connections)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(conn.bytes_received for conn in self._connections)
+
+    def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+        return self._connections[slot].submit(task)
+
+    def push_chunk(self, token: str, epoch: int, seq: int,
+                   packed: bytes) -> int:
+        return self._broadcast(("chunk", token, epoch, seq, packed))
+
+    def push_commit(self, token: str, epoch: int, chunks: int) -> int:
+        return self._broadcast(("commit", token, epoch, chunks))
+
+    def _broadcast(self, message: tuple) -> int:
+        return sum(conn.send(message) for conn in self._connections)
+
+    def close(self) -> None:
+        for conn in self._connections:
+            conn.close()

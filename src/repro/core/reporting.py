@@ -76,11 +76,19 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
             "cache_transport": {
                 "bytes_shipped_out": result.cache_bytes_shipped_out,
                 "bytes_shipped_in": result.cache_bytes_shipped_in,
+                "bytes_pushed": result.cache_bytes_pushed,
                 "bytes_full_equivalent_out": result.cache_bytes_full_out,
                 "bytes_full_equivalent_in": result.cache_bytes_full_in,
                 "bytes_reduction": round(result.cache_bytes_reduction(), 6),
                 "entries_merged": result.cache_entries_merged,
                 "syncs": result.cache_syncs,
+            },
+            # Dispatch transport: which backend ran the tasks and its
+            # total framed wire traffic (0 for in-process backends).
+            "dispatch_transport": {
+                "transport": result.transport,
+                "wire_bytes_sent": result.wire_bytes_sent,
+                "wire_bytes_received": result.wire_bytes_received,
             },
             # Hex-rendered so consumers that read JSON numbers as
             # doubles (> 2^53 loses bits) still compare exactly; the

@@ -99,6 +99,11 @@ def render_campaign(result: CampaignResult) -> str:
         f"wall time           : {result.wall_time_s:.2f}s",
         f"workers             : {result.workers}"
         + (
+            f" via {result.transport} transport"
+            if result.transport != "local"
+            else ""
+        )
+        + (
             f" (pipelined capture, "
             f"{result.capture_hidden_fraction():.0%} hidden)"
             if result.pipelined
@@ -120,10 +125,23 @@ def render_campaign(result: CampaignResult) -> str:
             if result.cache_bytes_full_equivalent()
             else ""  # baseline measurement turned off
         )
+        pushed = (
+            f" ({result.cache_bytes_pushed / 1024:.1f} KiB pushed)"
+            if result.cache_bytes_pushed
+            else ""
+        )
         lines.append(
             f"cache transport     : "
             f"{result.cache_bytes_shipped() / 1024:.1f} KiB shipped"
-            f"{baseline}, {result.cache_entries_merged} entries merged"
+            f"{pushed}{baseline}, {result.cache_entries_merged} "
+            "entries merged"
+        )
+    if result.wire_bytes_sent or result.wire_bytes_received:
+        lines.append(
+            f"dispatch wire       : "
+            f"{result.wire_bytes_sent / 1024:.1f} KiB out / "
+            f"{result.wire_bytes_received / 1024:.1f} KiB in "
+            f"({result.transport})"
         )
     lines += [
         _rule(),

@@ -16,6 +16,7 @@ from repro.checks import default_property_suite
 from repro.core.orchestrator import DiceOrchestrator, OrchestratorConfig
 from repro.core.parallel import (
     ExplorationTask,
+    InlineTransport,
     ParallelCampaignEngine,
     claims_from_spec,
     claims_to_spec,
@@ -152,3 +153,62 @@ class TestResolveWorkers:
     @pytest.mark.parametrize("requested,expected", [(0, 1), (1, 1), (3, 3)])
     def test_floor_is_one(self, requested, expected):
         assert resolve_workers(requested) == expected
+
+    def test_prefers_affinity_mask_over_cpu_count(self, monkeypatch):
+        """Inside a cgroup-limited container os.cpu_count() reports the
+        host's CPUs; the affinity mask is what the pool may use."""
+        import repro.core.parallel as parallel_module
+
+        if not hasattr(parallel_module.os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(
+            parallel_module.os, "sched_getaffinity", lambda pid: {0, 1}
+        )
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 64)
+        assert resolve_workers(None) == 2
+
+    def test_explicit_count_bypasses_affinity(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module.os, "cpu_count",
+            lambda: (_ for _ in ()).throw(AssertionError("not consulted")),
+        )
+        assert resolve_workers(5) == 5
+
+
+class TestInlineSubmit:
+    """workers<=1 submit must capture task errors but never
+    control-flow exceptions (Ctrl-C has to abort the campaign)."""
+
+    def test_task_errors_land_in_the_future(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        def failing(task, replicas=None):
+            raise ValueError("exploration blew up")
+
+        monkeypatch.setattr(
+            parallel_module, "run_exploration_task", failing
+        )
+        future = InlineTransport().submit(0, None)
+        with pytest.raises(ValueError, match="blew up"):
+            future.result()
+
+    @pytest.mark.parametrize("interrupt", [KeyboardInterrupt, SystemExit])
+    def test_control_flow_exceptions_reraise(self, monkeypatch, interrupt):
+        import repro.core.parallel as parallel_module
+
+        def interrupted(task, replicas=None):
+            raise interrupt
+
+        monkeypatch.setattr(
+            parallel_module, "run_exploration_task", interrupted
+        )
+        engine = ParallelCampaignEngine(workers=1)
+        with pytest.raises(interrupt):
+            engine.submit(
+                ExplorationTask(
+                    index=0, cycle=0, node="r1", snapshot=None,
+                    suite=default_property_suite(), claims=(), seed=0,
+                )
+            )

@@ -177,6 +177,32 @@ class TestPipelinedDeterminism:
         assert piped.capture_wall_s > 0.0
         assert 0.0 <= piped.capture_hidden_fraction() <= 1.0
 
+    def test_serial_campaign_gets_pipelined_capture(self):
+        """workers=1 with the pipeline on overlaps the capture thread
+        with inline exploration — bit-identical results, no transport
+        (cache_syncs stays 0, the serial contract)."""
+        plain = run_campaign(workers=1, pipeline=False)
+        overlapped = run_campaign(workers=1, pipeline=True)
+        assert overlapped.pipelined and not plain.pipelined
+        assert report_fingerprint(plain) == report_fingerprint(overlapped)
+        assert node_fingerprint(plain) == node_fingerprint(overlapped)
+        assert plain.solver_cache_hits == overlapped.solver_cache_hits
+        assert (
+            plain.cache_state_fingerprints
+            == overlapped.cache_state_fingerprints
+        )
+        assert overlapped.cache_syncs == 0
+        assert overlapped.cache_bytes_shipped() == 0
+        assert overlapped.capture_wall_s > 0.0
+
+    def test_serial_pipelined_abort_matches_serial(self):
+        plain = run_campaign(workers=1, pipeline=False, stop=True)
+        overlapped = run_campaign(workers=1, pipeline=True, stop=True)
+        assert plain.reports
+        assert report_fingerprint(plain) == report_fingerprint(overlapped)
+        assert plain.snapshots_taken == overlapped.snapshots_taken
+        assert plain.inputs_explored == overlapped.inputs_explored
+
     def test_campaign_nodes_visited_once_per_cycle(self):
         piped = run_campaign(workers=2, pipeline=True, cycles=2)
         assert [n.node for n in piped.node_reports] == [

@@ -1,0 +1,379 @@
+"""Tests for the remote worker transport layer.
+
+Three layers: the frame codec and worker-state protocol in isolation,
+end-to-end campaign determinism over the loopback and socket
+transports (the ISSUE's bit-identical-to-serial contract), and
+abort/cleanup semantics — ``stop_after_first_fault`` and ``close()``
+across local-pool, loopback, and socket transports.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from campaign_helpers import faulty_live, node_fingerprint, report_fingerprint
+from repro.checks import default_property_suite
+from repro.core.orchestrator import DiceOrchestrator, OrchestratorConfig
+from repro.core.parallel import (
+    ExplorationTask,
+    LocalPoolTransport,
+    ParallelCampaignEngine,
+    SolverCacheCoordinator,
+)
+from repro.core.remote import (
+    LoopbackTransport,
+    RemoteWorkerError,
+    RemoteWorkerState,
+    SocketTransport,
+    WorkerServer,
+    decode_frame,
+    encode_frame,
+    parse_address,
+)
+
+
+def run_campaign(workers=1, cycles=2, inputs=4, stop=False, **kwargs):
+    dice = DiceOrchestrator(faulty_live(), default_property_suite())
+    return dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=inputs,
+            cycles=cycles,
+            seed=9,
+            workers=workers,
+            stop_after_first_fault=stop,
+            **kwargs,
+        )
+    )
+
+
+def campaign_fingerprint(result):
+    return (
+        report_fingerprint(result),
+        node_fingerprint(result),
+        result.solver_cache_hits,
+        result.solver_cache_misses,
+        result.solver_cache_merged_hits,
+        result.cache_state_fingerprints,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return run_campaign(workers=1, pipeline=False)
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        message = ("task", 7, {"payload": b"\x00" * 1000})
+        assert decode_frame(encode_frame(message)) == message
+
+    def test_length_prefix_mismatch_is_loud(self):
+        frame = encode_frame(("ping",))
+        with pytest.raises(ValueError, match="length prefix"):
+            decode_frame(frame + b"trailing")
+
+    def test_truncated_frame_is_loud(self):
+        with pytest.raises(ValueError):
+            decode_frame(b"\x00")
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7411") == ("127.0.0.1", 7411)
+        assert parse_address(("host", 80)) == ("host", 80)
+        with pytest.raises(ValueError, match="host:port"):
+            parse_address("7411")
+
+
+class TestRemoteWorkerState:
+    def test_ping(self):
+        state = RemoteWorkerState()
+        assert state.handle(("ping",)) == ("pong", 0)
+
+    def test_task_failure_becomes_error_frame(self):
+        state = RemoteWorkerState()
+        broken = ExplorationTask(
+            index=0, cycle=0, node="r1", snapshot=None,
+            suite=default_property_suite(), claims=(), seed=0,
+        )
+        kind, request_id, summary, trace = state.handle(
+            ("task", 5, broken)
+        )
+        assert kind == "error"
+        assert request_id == 5
+        assert "ValueError" in summary
+        assert "snapshot" in trace
+
+    def test_control_flow_exceptions_propagate(self, monkeypatch):
+        """Ctrl-C stops the daemon; it must not become an error frame."""
+        import repro.core.remote as remote_module
+
+        def interrupted(task, replicas=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            remote_module, "run_exploration_task", interrupted
+        )
+        broken = ExplorationTask(
+            index=0, cycle=0, node="r1", snapshot=None,
+            suite=default_property_suite(), claims=(), seed=0,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            RemoteWorkerState().handle(("task", 1, broken))
+
+    def test_unknown_kind_is_loud(self):
+        with pytest.raises(ValueError, match="unknown message"):
+            RemoteWorkerState().handle(("bogus",))
+
+    def test_concurrent_campaign_is_rejected_not_rescoped(self):
+        """A second live connection's campaign must not wipe the warm
+        replicas out from under the first; sequential hand-off (old
+        connection gone) still rescopes silently."""
+        state = RemoteWorkerState()
+        state.handle(("chunk", "campaign-A", 1, 0, b"x"), client=1)
+        with pytest.raises(RuntimeError, match="another campaign"):
+            state.handle(("chunk", "campaign-B", 1, 0, b"y"), client=2)
+        assert state.replicas.token == "campaign-A"
+        # Connection 1 closes: its claim lifts, B may take over.
+        state.release(1)
+        state.handle(("chunk", "campaign-B", 1, 0, b"y"), client=2)
+        assert state.replicas.token == "campaign-B"
+
+
+class TestLoopbackCampaigns:
+    def test_matches_serial_bit_for_bit(self, serial_reference):
+        loopback = run_campaign(workers=2, transport="loopback")
+        assert serial_reference.reports
+        assert campaign_fingerprint(loopback) == campaign_fingerprint(
+            serial_reference
+        )
+        assert loopback.transport == "loopback"
+
+    def test_wire_and_push_bytes_counted(self):
+        result = run_campaign(workers=2, transport="loopback")
+        assert result.wire_bytes_sent > 0
+        assert result.wire_bytes_received > 0
+        # Two cycles with sharing: the second cycle's merge events
+        # travelled over the push channel, not inside the syncs.
+        assert result.cache_bytes_pushed > 0
+        assert result.cache_bytes_shipped() > 0
+
+    def test_push_channel_replaces_sync_blobs(self):
+        """With a push channel, syncs reference epochs but never carry
+        the blob — the bytes moved off the task dispatch path."""
+        transport = LoopbackTransport(slots=2)
+        engine = ParallelCampaignEngine(transport=transport)
+        coordinator = SolverCacheCoordinator(["n1", "n2"], max_entries=64)
+        coordinator.attach_push_channel(engine.push_channel)
+        for number, node in enumerate(("n1", "n2"), start=1):
+            slot = engine.slot_for(node)
+            replica = transport.worker_state(slot).replicas.replica_for(
+                coordinator.sync_for(node, slot=slot)
+            )
+            replica.store_model((number,), {"x": number})
+            coordinator.absorb(replica.take_delta(node))
+        assert coordinator.bytes_pushed > 0  # chunks streamed mid-cycle
+        coordinator.end_cycle()
+        sync = coordinator.sync_for("n1", slot=engine.slot_for("n1"))
+        assert sync.merge_id == 1
+        assert sync.merge_blob is None
+        replica = transport.worker_state(
+            engine.slot_for("n1")
+        ).replicas.replica_for(sync)
+        assert replica.models_cached == 2  # both nodes' entries arrived
+
+    def test_worker_error_propagates_with_traceback(self):
+        transport = LoopbackTransport(slots=1)
+        broken = ExplorationTask(
+            index=0, cycle=0, node="r1", snapshot=None,
+            suite=default_property_suite(), claims=(), seed=0,
+        )
+        future = transport.submit(0, broken)
+        with pytest.raises(RemoteWorkerError, match="ValueError"):
+            future.result()
+
+    def test_closed_transport_refuses_work(self):
+        transport = LoopbackTransport(slots=1)
+        transport.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            transport.submit(0, None)
+
+
+class TestSocketCampaigns:
+    @pytest.fixture()
+    def servers(self):
+        started = [WorkerServer().start(), WorkerServer().start()]
+        yield started
+        for server in started:
+            server.close()
+
+    @staticmethod
+    def addresses(servers):
+        return [f"{host}:{port}" for host, port in
+                (server.address for server in servers)]
+
+    def test_matches_serial_bit_for_bit(self, serial_reference, servers):
+        remote = run_campaign(
+            transport="socket", remote_workers=self.addresses(servers)
+        )
+        assert campaign_fingerprint(remote) == campaign_fingerprint(
+            serial_reference
+        )
+        assert remote.workers == 2
+        assert remote.transport == "socket"
+        assert remote.wire_bytes_sent > 0
+        assert remote.wire_bytes_received > 0
+
+    def test_daemons_stay_warm_and_rescope_per_campaign(
+        self, serial_reference, servers
+    ):
+        addresses = self.addresses(servers)
+        first = run_campaign(transport="socket", remote_workers=addresses)
+        # Replicas survive the campaign (the daemon is long-lived) and
+        # every daemon ran its sticky share of the nodes.
+        warm = [sorted(server.state.replicas.caches) for server in servers]
+        assert sorted(node for nodes in warm for node in nodes) == [
+            "r1", "r2", "r3",
+        ]
+        assert all(server.state.tasks_run > 0 for server in servers)
+        # A second campaign re-scopes the token and still matches.
+        second = run_campaign(transport="socket", remote_workers=addresses)
+        assert campaign_fingerprint(first) == campaign_fingerprint(second)
+        assert campaign_fingerprint(second) == campaign_fingerprint(
+            serial_reference
+        )
+
+    def test_unreachable_worker_fails_at_campaign_start(self):
+        with socket.socket() as placeholder:
+            placeholder.bind(("127.0.0.1", 0))
+            port = placeholder.getsockname()[1]
+        # Nothing listens on `port` anymore.
+        with pytest.raises(RemoteWorkerError, match="cannot reach"):
+            run_campaign(
+                transport="socket",
+                remote_workers=[f"127.0.0.1:{port}"],
+            )
+
+    def test_socket_requires_addresses(self):
+        with pytest.raises(ValueError, match="remote_workers"):
+            run_campaign(transport="socket")
+
+
+class TestAbortAndCleanup:
+    """stop_after_first_fault + close() across all three transports."""
+
+    @pytest.fixture(scope="class")
+    def serial_abort(self):
+        return run_campaign(workers=1, pipeline=False, stop=True)
+
+    def test_local_pool_abort_matches_serial(self, serial_abort):
+        aborted = run_campaign(workers=2, stop=True)
+        assert serial_abort.reports
+        assert report_fingerprint(aborted) == report_fingerprint(
+            serial_abort
+        )
+        assert aborted.snapshots_taken == serial_abort.snapshots_taken
+        assert (
+            aborted.cache_state_fingerprints
+            == serial_abort.cache_state_fingerprints
+        )
+
+    def test_loopback_abort_matches_serial(self, serial_abort):
+        aborted = run_campaign(workers=2, transport="loopback", stop=True)
+        assert report_fingerprint(aborted) == report_fingerprint(
+            serial_abort
+        )
+        assert (
+            aborted.cache_state_fingerprints
+            == serial_abort.cache_state_fingerprints
+        )
+
+    def test_socket_abort_matches_serial_and_daemon_survives(
+        self, serial_abort
+    ):
+        with WorkerServer().start() as alpha, WorkerServer().start() as beta:
+            addresses = [f"{host}:{port}" for host, port in
+                         (alpha.address, beta.address)]
+            aborted = run_campaign(
+                transport="socket", remote_workers=addresses, stop=True
+            )
+            assert report_fingerprint(aborted) == report_fingerprint(
+                serial_abort
+            )
+            assert (
+                aborted.cache_state_fingerprints
+                == serial_abort.cache_state_fingerprints
+            )
+            # The daemons outlive the aborted campaign and still serve.
+            follow_up = run_campaign(
+                transport="socket", remote_workers=addresses
+            )
+            assert follow_up.reports
+
+    def test_local_pool_close_reaps_workers(self):
+        transport = LocalPoolTransport(slots=2)
+        engine = ParallelCampaignEngine(transport=transport)
+        assert engine.workers == 2
+        engine.close()
+        assert transport._pools == [None, None]
+
+    def test_dead_worker_surfaces_a_named_error(self):
+        """A worker dying mid-task must raise RemoteWorkerError naming
+        the worker, not a bare CancelledError."""
+        from repro.core.remote import recv_message
+
+        flaky = socket.create_server(("127.0.0.1", 0))
+
+        def accept_read_and_die():
+            conn, _ = flaky.accept()
+            recv_message(conn)  # swallow the task frame...
+            conn.close()  # ...and hang up without answering
+
+        killer = threading.Thread(target=accept_read_and_die, daemon=True)
+        killer.start()
+        transport = SocketTransport(
+            [f"127.0.0.1:{flaky.getsockname()[1]}"]
+        )
+        try:
+            task = ExplorationTask(
+                index=0, cycle=0, node="r1", snapshot=None,
+                suite=default_property_suite(), claims=(), seed=0,
+            )
+            future = transport.submit(0, task)
+            with pytest.raises(RemoteWorkerError, match="failed"):
+                future.result(timeout=10)
+        finally:
+            killer.join(timeout=2.0)
+            transport.close()
+            flaky.close()
+
+    def test_socket_close_cancels_undelivered_futures(self):
+        """A submit the worker never answers is cancelled, not leaked."""
+        mute = socket.create_server(("127.0.0.1", 0))
+        accepted = []
+
+        def accept_and_hold():
+            conn, _ = mute.accept()
+            accepted.append(conn)  # read nothing, answer nothing
+
+        holder = threading.Thread(target=accept_and_hold, daemon=True)
+        holder.start()
+        transport = SocketTransport(
+            [f"127.0.0.1:{mute.getsockname()[1]}"]
+        )
+        try:
+            task = ExplorationTask(
+                index=0, cycle=0, node="r1", snapshot=None,
+                suite=default_property_suite(), claims=(), seed=0,
+            )
+            future = transport.submit(0, task)
+            assert not future.done()
+            transport.close()
+            assert future.cancelled() or future.exception() is not None
+            late = transport.submit(0, task)
+            with pytest.raises(RemoteWorkerError, match="closed"):
+                late.result()
+        finally:
+            holder.join(timeout=2.0)
+            for conn in accepted:
+                conn.close()
+            mute.close()

@@ -43,6 +43,32 @@ class TestParser:
                 ["campaign", "--solver-cache-size", "0"]
             )
 
+    def test_transport_flags(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.transport == "local"
+        assert args.remote_workers is None
+        args = build_parser().parse_args([
+            "campaign", "--transport", "socket",
+            "--remote-workers", "127.0.0.1:7411, 127.0.0.1:7412",
+        ])
+        assert args.transport == "socket"
+        from repro.cli import _parse_remote_workers
+
+        assert _parse_remote_workers(args.remote_workers) == [
+            "127.0.0.1:7411", "127.0.0.1:7412",
+        ]
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--transport", "carrier-pigeon"]
+            )
+
+    def test_remote_worker_defaults(self):
+        args = build_parser().parse_args(["remote-worker"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+
 
 class TestCampaignCommand:
     def test_healthy_campaign_exit_zero(self, capsys):
@@ -64,6 +90,33 @@ class TestCampaignCommand:
         assert code == 0
         data = json.loads(path.read_text())
         assert data["summary"]["snapshots_taken"] == 1
+
+    def test_loopback_transport_campaign(self, capsys):
+        code = main([
+            "campaign", "--topology", "quickstart", "--inputs", "3",
+            "--nodes", "r2", "--workers", "2", "--transport", "loopback",
+        ])
+        assert code == 0
+        assert "via loopback transport" in capsys.readouterr().out
+
+    def test_socket_transport_campaign_against_daemon(self, capsys):
+        from repro.core.remote import WorkerServer
+
+        with WorkerServer().start() as server:
+            host, port = server.address
+            code = main([
+                "campaign", "--topology", "quickstart", "--inputs", "3",
+                "--nodes", "r2", "--transport", "socket",
+                "--remote-workers", f"{host}:{port}",
+            ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "via socket transport" in out
+        assert "dispatch wire" in out
+
+    def test_socket_without_workers_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="remote-workers"):
+            main(["campaign", "--transport", "socket"])
 
     def test_fail_on_fault_with_bad_gadget(self, capsys):
         code = main([
