@@ -94,6 +94,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             share_solver_caches=args.share_solver_caches,
             transport=args.transport,
             remote_workers=remote_workers,
+            max_worker_failures=args.max_worker_failures,
         )
     )
     print(render_campaign(result))
@@ -137,6 +138,19 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for knobs that must be >= 0.
+
+    Rejecting negatives matters for --max-worker-failures: an operator
+    typing -1 for "unlimited" must get a parse error, not a silent
+    clamp to 0 — the strict fail-fast mode, the opposite intent.
+    """
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -192,6 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated remote-worker daemon "
                                "addresses, one worker slot each "
                                "(required with --transport socket)")
+    campaign.add_argument("--max-worker-failures", type=_non_negative_int,
+                          default=None,
+                          metavar="N",
+                          help="worker slots the campaign may lose before "
+                               "failing; a dead slot's tasks are requeued "
+                               "on survivors with solver-cache replicas "
+                               "rebuilt by replay, results unchanged "
+                               "(default: all but one slot; 0 disables "
+                               "failover)")
     campaign.add_argument("--report", default=None,
                           help="write JSON report to this path")
     campaign.add_argument("--fail-on-fault", action="store_true",

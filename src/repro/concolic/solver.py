@@ -300,7 +300,14 @@ class SolverCache:
                 f"cache at generation {self._generation} cannot replay a "
                 f"delta based on generation {delta.base_generation}"
             )
-        for event in delta.events:
+        self.replay_events(delta.events)
+
+    def replay_events(self, events: tuple[CacheEvent, ...]) -> None:
+        """Re-execute journalled store events exactly, without the
+        generation guard (callers replaying a full history from an
+        empty cache — worker failover rebuilds — line generations up
+        by construction)."""
+        for event in events:
             if event[0] == "m":
                 self._apply_model(event[1], dict(event[2]))
             else:

@@ -34,6 +34,7 @@ from __future__ import annotations
 import pickle
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.explorer import (
     ExplorationConfig,
@@ -106,6 +107,19 @@ class OrchestratorConfig:
     # host:port addresses of remote-worker daemons, one worker slot
     # each; required by (and only meaningful for) transport="socket".
     remote_workers: list[str] | None = None
+    # Worker slots the campaign may lose before failing: a dead slot's
+    # nodes are re-routed to survivors with their solver-cache replicas
+    # rebuilt by event-log replay, so results stay bit-identical to a
+    # failure-free run.  None = all but one slot (survive while any
+    # slot lives); 0 disables failover (a dead worker fails the
+    # campaign, the pre-failover behaviour).  Exceeding the budget
+    # raises WorkerFailoverError naming every dead worker.
+    max_worker_failures: int | None = None
+    # Escape hatch for the chaos/fault-injection harness (not exposed
+    # on the CLI): a zero-argument callable returning the
+    # WorkerTransport the campaign engine should dispatch on, taking
+    # precedence over `transport`/`remote_workers`.
+    transport_factory: Callable | None = None
     # Price the pre-delta protocol alongside the real transport (the
     # cache_bytes_full_* counters): pickles each node's full cache per
     # dispatch — bounded by solver_cache_size, ~2 ms per warm default
@@ -167,6 +181,15 @@ class CampaignResult:
     transport: str = "local"
     wire_bytes_sent: int = 0
     wire_bytes_received: int = 0
+    # Failover accounting: worker slots lost mid-campaign (with their
+    # labels), tasks requeued onto survivors, and solver-cache replicas
+    # rebuilt from the coordinator's event history.  All zero on a
+    # failure-free run; results are bit-identical either way.
+    worker_failures: int = 0
+    tasks_requeued: int = 0
+    dead_workers: list[str] = field(default_factory=list)
+    cache_replica_rebuilds: int = 0
+    max_worker_failures: int = 0
     # Per-node process-stable digests of final solver-cache state;
     # identical across worker counts and pipelining (determinism
     # tests assert on them).
@@ -301,7 +324,8 @@ class DiceOrchestrator:
     def run_campaign(self, config: OrchestratorConfig) -> CampaignResult:
         """Run the configured number of cycles; see module docstring."""
         workers = self._campaign_workers(config)
-        if workers > 1 or config.transport != "local":
+        if (workers > 1 or config.transport != "local"
+                or config.transport_factory is not None):
             return self._run_campaign_parallel(config, workers)
         if config.pipeline:
             return self._run_campaign_serial_pipelined(config)
@@ -346,6 +370,11 @@ class DiceOrchestrator:
     @staticmethod
     def _campaign_workers(config: OrchestratorConfig) -> int:
         """The worker-slot count the config's transport implies."""
+        if config.transport_factory is not None:
+            # The injected transport knows its own slot count; the
+            # engine reports it once built (result.workers is set from
+            # engine.workers on the parallel paths).
+            return resolve_workers(config.workers)
         if config.transport == "socket":
             if not config.remote_workers:
                 raise ValueError(
@@ -360,17 +389,27 @@ class DiceOrchestrator:
         config: OrchestratorConfig, workers: int
     ) -> ParallelCampaignEngine:
         """The dispatch engine for the config's transport choice."""
+        if config.transport_factory is not None:
+            return ParallelCampaignEngine(
+                transport=config.transport_factory(),
+                max_worker_failures=config.max_worker_failures,
+            )
         if config.transport == "local":
-            return ParallelCampaignEngine(workers=workers)
+            return ParallelCampaignEngine(
+                workers=workers,
+                max_worker_failures=config.max_worker_failures,
+            )
         from repro.core.remote import LoopbackTransport, SocketTransport
 
         if config.transport == "loopback":
             return ParallelCampaignEngine(
-                transport=LoopbackTransport(slots=workers)
+                transport=LoopbackTransport(slots=workers),
+                max_worker_failures=config.max_worker_failures,
             )
         if config.transport == "socket":
             return ParallelCampaignEngine(
-                transport=SocketTransport(config.remote_workers)
+                transport=SocketTransport(config.remote_workers),
+                max_worker_failures=config.max_worker_failures,
             )
         raise ValueError(
             f"unknown transport {config.transport!r}; choose from "
@@ -383,7 +422,10 @@ class DiceOrchestrator:
         engine: ParallelCampaignEngine,
         coordinator: SolverCacheCoordinator,
     ) -> None:
-        """Connect the merge push channel, when the transport has one."""
+        """Connect coordinator and engine: sync building, failover
+        recovery, and — when the transport has one — the merge push
+        channel."""
+        engine.attach_coordinator(coordinator)
         if config.share_solver_caches and engine.push_channel is not None:
             coordinator.attach_push_channel(engine.push_channel)
 
@@ -395,6 +437,12 @@ class DiceOrchestrator:
         result.wire_bytes_received = getattr(
             engine.transport, "bytes_received", 0
         )
+        result.worker_failures = len(engine.failures)
+        result.tasks_requeued = engine.tasks_requeued
+        result.dead_workers = [
+            failure.worker for failure in engine.failures
+        ]
+        result.max_worker_failures = engine.max_worker_failures
 
     @staticmethod
     def _cache_coordinator(
@@ -418,6 +466,7 @@ class DiceOrchestrator:
         result.cache_bytes_full_in = coordinator.bytes_full_in
         result.cache_entries_merged = coordinator.entries_merged
         result.cache_syncs = coordinator.syncs
+        result.cache_replica_rebuilds = coordinator.rebuilds
         result.cache_state_fingerprints = coordinator.state_fingerprints()
 
     def _campaign_nodes(self, config: OrchestratorConfig) -> list[str]:
@@ -638,6 +687,7 @@ class DiceOrchestrator:
         done = False
         with self._build_engine(config, workers) as engine:
             self._wire_coordinator(config, engine, coordinator)
+            result.workers = engine.workers
             for cycle in range(config.cycles):
                 tasks = []
                 for index, node in enumerate(nodes):
@@ -652,8 +702,7 @@ class DiceOrchestrator:
                             config, cycle, index, node, snapshot,
                             detected_at=self._live.network.sim.now,
                             claims_spec=claims_spec,
-                            coordinator=coordinator,
-                            slot=engine.slot_for(node),
+                            sync=engine.sync_for(node),
                         )
                     )
                     self._advance_live(config)
@@ -689,17 +738,18 @@ class DiceOrchestrator:
         snapshot,
         detected_at: float,
         claims_spec,
-        coordinator: SolverCacheCoordinator,
-        slot: int,
+        sync,
         snapshot_blob: bytes | None = None,
     ) -> ExplorationTask:
         """Build one exploration task around an already-captured snapshot.
 
-        ``slot`` is the engine's sticky worker slot for the node (the
-        cache sync uses it to ship the merge blob once per slot).
-        ``snapshot_blob`` (pipelined mode) is the capture thread's
-        pre-pickled payload; the task then ships bytes instead of
-        re-serializing the snapshot during dispatch.
+        ``sync`` is the engine-built cache sync
+        (:meth:`ParallelCampaignEngine.sync_for`): normally a delta
+        sync against the node's sticky slot, or — after that slot died
+        — a recovery sync rebuilding the replica on the survivor the
+        node was re-routed to.  ``snapshot_blob`` (pipelined mode) is
+        the capture thread's pre-pickled payload; the task then ships
+        bytes instead of re-serializing the snapshot during dispatch.
         """
         return ExplorationTask(
             index=index,
@@ -715,7 +765,7 @@ class DiceOrchestrator:
             grammar_seeds=config.grammar_seeds,
             detected_at=detected_at,
             process_factory=self._factory,
-            cache_sync=coordinator.sync_for(node, slot=slot),
+            cache_sync=sync,
             snapshot_blob=snapshot_blob,
         )
 
@@ -786,6 +836,7 @@ class DiceOrchestrator:
                                  depth=len(nodes),
                                  prepare_fn=pickle.dumps) as pipeline:
             self._wire_coordinator(config, engine, coordinator)
+            result.workers = engine.workers
             for cycle in range(config.cycles):
                 futures = []
                 for index, node in enumerate(nodes):
@@ -814,8 +865,7 @@ class DiceOrchestrator:
                                 captured.snapshot,
                                 detected_at=captured.detected_at,
                                 claims_spec=claims_spec,
-                                coordinator=coordinator,
-                                slot=engine.slot_for(node),
+                                sync=engine.sync_for(node),
                                 snapshot_blob=captured.payload,
                             )
                         )

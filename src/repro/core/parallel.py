@@ -48,7 +48,8 @@ import os
 import pickle
 import uuid
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from typing import Protocol, Sequence
 
 from repro.bgp.ip import Prefix
@@ -115,6 +116,17 @@ class CacheSync:
     slot carries ``merge_blob`` (zlib-packed events), later syncs carry
     only ``merge_id`` and the worker re-reads the blob from its
     process-local store.  ``merge_id`` 0 means no merge is pending.
+
+    ``rebuild`` is the failover path: when a worker slot dies, the
+    node's replica is lost with it, so the first task re-routed to a
+    surviving slot carries the node's full ordered event history —
+    ``("d", packed_delta_events)`` entries for the node's own
+    journalled stores and ``("g", packed_merge_events)`` entries for
+    each sealed cross-node merge epoch, in exactly the order the
+    orchestrator's mirror applied them.  Replaying it onto a fresh
+    cache reproduces the lost replica bit-exactly (``base_generation``
+    then names the post-replay generation, and ``merge_id`` epochs are
+    already folded in).  ``None`` means no rebuild — the normal case.
     """
 
     node: str
@@ -123,6 +135,9 @@ class CacheSync:
     base_generation: int
     merge_id: int = 0
     merge_blob: bytes | None = field(default=None, repr=False)
+    rebuild: tuple[tuple[str, bytes], ...] | None = field(
+        default=None, repr=False
+    )
 
 
 class ReplicaStore:
@@ -199,6 +214,8 @@ class ReplicaStore:
         if sync.merge_blob is not None and sync.merge_id != self.blob_id:
             self.blob_id = sync.merge_id
             self.blob_events = unpack_events(sync.merge_blob)
+        if sync.rebuild is not None:
+            self._rebuild_replica(sync)
         cache = self.caches.get(sync.node)
         if cache is None:
             cache = SolverCache(max_entries=sync.max_entries)
@@ -222,6 +239,32 @@ class ReplicaStore:
                 cache.merge_delta(self.blob_events)
                 self.epochs[sync.node] = sync.merge_id
         return cache
+
+    def _rebuild_replica(self, sync: CacheSync) -> None:
+        """Reconstruct a node's lost replica from its event history.
+
+        The history interleaves the node's own journalled stores
+        (``"d"`` entries, replayed exactly as the orchestrator's mirror
+        replayed the shipped deltas) with the sealed cross-node merge
+        epochs (``"g"`` entries, folded first-writer-wins), in mirror
+        application order — so the rebuilt cache is bit-identical to
+        the replica the dead slot held, including FIFO eviction order
+        and merged-entry provenance.  Any cache this store previously
+        held for the node is discarded: a replica that survived a
+        partial failure cannot be trusted to be in sync (a mid-task
+        death may have advanced it past the orchestrator's knowledge).
+        """
+        cache = SolverCache(max_entries=sync.max_entries)
+        for kind, packed in sync.rebuild:
+            events = unpack_events(packed)
+            if kind == "d":
+                cache.replay_events(events)
+            else:
+                cache.merge_delta(events)
+        self.caches[sync.node] = cache
+        # The history already folds every sealed epoch, so the normal
+        # per-task merge application below must treat them as applied.
+        self.epochs[sync.node] = sync.merge_id
 
 
 # The calling process's store: pool worker processes (fork or spawn —
@@ -271,6 +314,14 @@ class WorkerTransport(Protocol):
     methods; the orchestrator attaches push-capable transports to the
     :class:`SolverCacheCoordinator` so merge events stream to workers
     at a finer-than-cycle cadence.
+
+    Two further methods are optional (looked up with ``getattr``):
+    ``discard_slot(slot)`` retires a slot the engine declared dead
+    (failover never resubmits to it; broadcasts skip it), and
+    ``slot_label(slot)`` names a slot for failure reports ("host:port"
+    for sockets).  A transport signals a *slot* death — as opposed to
+    a task failure — by resolving futures with an exception for which
+    :func:`is_transport_fatal` is true.
     """
 
     slots: int
@@ -353,6 +404,22 @@ class SolverCacheCoordinator:
             node: SolverCache(max_entries=max_entries) for node in nodes
         }
         self._shipped_generation = {node: 0 for node in nodes}
+        # Per-node ordered event history for failover: every absorbed
+        # delta ("d", packed events) and every sealed merge epoch
+        # ("g", packed events), in mirror application order.  Replaying
+        # it onto a fresh cache reconstructs the node's replica on a
+        # surviving slot after a worker death (see CacheSync.rebuild).
+        # Entries hold the already-packed bytes the transport shipped,
+        # so the log costs O(campaign events) compressed bytes, not
+        # re-serialization work — and it is recorded only when a
+        # failover-capable engine switches it on
+        # (:meth:`enable_recovery_history`): serial campaigns have no
+        # worker slots to lose, so for them the log would accumulate
+        # without a possible consumer.
+        self._record_history = False
+        self._history: dict[str, list[tuple[str, bytes]]] = {
+            node: [] for node in nodes
+        }
         # The current cross-node merge blob: its epoch id, the packed
         # form tasks ship, and the slots that already received it.
         self._merge_epoch = 0
@@ -372,11 +439,23 @@ class SolverCacheCoordinator:
         self.bytes_full_in = 0
         self.entries_merged = 0
         self.syncs = 0
+        self.rebuilds = 0
 
     @property
     def share(self) -> bool:
         """Whether cross-node merging is enabled."""
         return self._share
+
+    def enable_recovery_history(self) -> None:
+        """Start recording the per-node event history failover replays.
+
+        Called by :meth:`ParallelCampaignEngine.attach_coordinator` —
+        i.e. exactly when worker slots exist that could die.  Must be
+        on from the campaign's first absorb: a history that misses
+        early events would rebuild a wrong replica, so
+        :meth:`recovery_sync_for` refuses to run without it.
+        """
+        self._record_history = True
 
     def attach_push_channel(self, channel: "PushChannel") -> None:
         """Stream merge events to long-lived workers as they appear.
@@ -437,6 +516,38 @@ class SolverCacheCoordinator:
             merge_id=self._merge_epoch,
             merge_blob=blob,
         )
+        return self._count_sync(node, sync)
+
+    def recovery_sync_for(self, node: str, slot: int = 0) -> CacheSync:
+        """A failover sync: rebuild the node's replica from scratch.
+
+        Built when the slot holding the node's replica died and the
+        node's next (or requeued) task runs on a surviving slot.  The
+        sync carries the node's full event history; replaying it onto
+        a fresh cache lands exactly on the mirror's current state, so
+        ``base_generation`` is the mirror's generation (post any
+        sealed merges, all of which the history already folds —
+        ``merge_id`` marks them applied).  ``slot`` is only the
+        routing destination; no blob-per-slot bookkeeping applies
+        because the rebuild is self-contained.
+        """
+        if not self._record_history:
+            raise RuntimeError(
+                "recovery history was never enabled; a rebuild from a "
+                "partial log would reproduce the wrong replica state"
+            )
+        self.rebuilds += 1
+        sync = CacheSync(
+            node=node,
+            token=self.token,
+            max_entries=self._max_entries,
+            base_generation=self._caches[node].generation,
+            merge_id=self._merge_epoch,
+            rebuild=tuple(self._history[node]),
+        )
+        return self._count_sync(node, sync)
+
+    def _count_sync(self, node: str, sync: CacheSync) -> CacheSync:
         self.syncs += 1
         self.bytes_shipped_out += len(pickle.dumps(sync))
         if self._measure_baseline:
@@ -450,6 +561,8 @@ class SolverCacheCoordinator:
         self.bytes_shipped_in += len(pickle.dumps(delta))
         cache = self._caches[delta.node]
         cache.replay_delta(delta)
+        if delta.count and self._record_history:
+            self._history[delta.node].append(("d", delta.packed_events))
         if self._measure_baseline:
             self.bytes_full_in += cache.full_pickle_size()
         self._shipped_generation[delta.node] = cache.generation
@@ -459,7 +572,12 @@ class SolverCacheCoordinator:
                 self._push_fresh(delta)
 
     def record_local(self, node: str) -> None:
-        """Serial-path equivalent of :meth:`absorb`: drain the journal."""
+        """Serial-path equivalent of :meth:`absorb`: drain the journal.
+
+        No recovery history is recorded here: this path runs only in
+        serial campaigns, which have no worker slots to fail over, so
+        the bytes would accumulate without a possible consumer.
+        """
         delta = self._caches[node].take_delta(node)
         self._shipped_generation[node] = self._caches[node].generation
         if self._share:
@@ -495,8 +613,11 @@ class SolverCacheCoordinator:
         )
         if not events:
             return
+        packed = pack_events(events)
         for node in self._nodes:
             self.entries_merged += self._caches[node].merge_delta(events)
+            if self._record_history:
+                self._history[node].append(("g", packed))
         self._merge_epoch += 1
         if self._push_channel is not None:
             # The chunks already pushed are exactly these events; the
@@ -506,7 +627,7 @@ class SolverCacheCoordinator:
             )
             self._pending_blob = None
         else:
-            self._pending_blob = pack_events(events)
+            self._pending_blob = packed
         self._blob_slots.clear()
 
     def state_fingerprints(self) -> dict[str, int]:
@@ -653,6 +774,62 @@ def available_cpus() -> int:
     return os.cpu_count() or 1
 
 
+# -- worker failover ----------------------------------------------------------
+
+
+class WorkerLostError(RuntimeError):
+    """Marker base for *transport-fatal* failures: the worker slot —
+    not the task — died (connection drop, daemon crash, broken pool
+    process).  The engine's failover treats exactly these as
+    recoverable by requeueing the slot's tasks elsewhere; any other
+    exception is a deterministic task failure that would fail on every
+    slot and therefore propagates.  :class:`repro.core.remote.
+    WorkerDiedError` mixes this in on the socket/loopback side.
+    """
+
+
+def is_transport_fatal(error: BaseException) -> bool:
+    """Whether an exception means the worker slot is gone.
+
+    ``BrokenProcessPool`` is the local-pool equivalent of a dead
+    daemon: the slot's single pool process died, taking its replica
+    store with it.
+    """
+    return isinstance(error, (WorkerLostError, BrokenProcessPool))
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """One dead worker slot, for reports and error messages."""
+
+    slot: int
+    worker: str  # human label: "127.0.0.1:7411", "local pool slot 2"
+    error: str  # one-line cause summary
+
+    def __str__(self) -> str:
+        return f"{self.worker}: {self.error}"
+
+
+class WorkerFailoverError(RuntimeError):
+    """The campaign lost more worker slots than it may tolerate.
+
+    Carries the full failure list so operators see every dead worker,
+    not just the final straw; ``dead_workers`` is the label list the
+    CLI and reports surface.
+    """
+
+    def __init__(self, failures: Sequence[WorkerFailure], limit: int,
+                 reason: str | None = None):
+        self.failures = list(failures)
+        self.dead_workers = [failure.worker for failure in self.failures]
+        detail = "; ".join(str(failure) for failure in self.failures)
+        super().__init__(
+            reason
+            or f"campaign lost {len(self.failures)} worker slot(s), "
+               f"exceeding max_worker_failures={limit}: {detail}"
+        )
+
+
 class InlineTransport:
     """Runs every task synchronously in the calling process.
 
@@ -685,7 +862,10 @@ class LocalPoolTransport:
     Pools are created lazily on first use and reaped by :meth:`close`;
     pending tasks are cancelled on close (the
     ``stop_after_first_fault`` abort path), leaving already-merged
-    results untouched.
+    results untouched.  A slot whose pool process died
+    (``BrokenProcessPool``) can be retired with :meth:`discard_slot`;
+    its replica store died with the process, so the engine requeues
+    its nodes elsewhere rather than respawning the pool.
     """
 
     supports_push = False
@@ -693,13 +873,31 @@ class LocalPoolTransport:
     def __init__(self, slots: int):
         self.slots = max(1, slots)
         self._pools: list[ProcessPoolExecutor | None] = [None] * self.slots
+        self._dead: set[int] = set()
 
     def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+        if slot in self._dead:
+            future: Future[TaskOutcome] = Future()
+            future.set_exception(
+                WorkerLostError(f"local pool slot {slot} is dead")
+            )
+            return future
         pool = self._pools[slot]
         if pool is None:
             pool = ProcessPoolExecutor(max_workers=1)
             self._pools[slot] = pool
         return pool.submit(run_exploration_task, task)
+
+    def slot_label(self, slot: int) -> str:
+        return f"local pool slot {slot}"
+
+    def discard_slot(self, slot: int) -> None:
+        """Retire a slot whose pool process died; never respawned."""
+        self._dead.add(slot)
+        pool = self._pools[slot]
+        if pool is not None:
+            pool.shutdown(cancel_futures=True)
+            self._pools[slot] = None
 
     def close(self) -> None:
         for index, pool in enumerate(self._pools):
@@ -708,32 +906,72 @@ class LocalPoolTransport:
                 self._pools[index] = None
 
 
+class TaskHandle:
+    """A requeue-aware future for one submitted task.
+
+    Wraps the transport future together with the task and its slot, so
+    :meth:`result` can fail over: when the slot died, the engine
+    re-routes the task to a surviving slot (rebuilding the node's
+    solver-cache replica from the coordinator's event history) and the
+    handle transparently tracks the retry.  Resolve handles strictly
+    in submission order — the merge-order contract is the handle
+    caller's job, exactly as it was with bare futures.
+    """
+
+    def __init__(self, engine: "ParallelCampaignEngine",
+                 task: ExplorationTask, slot: int,
+                 future: "Future[TaskOutcome]"):
+        self._engine = engine
+        self.task = task
+        self.slot = slot
+        self.future = future
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def result(self) -> TaskOutcome:
+        """The task's outcome, retrying across worker deaths."""
+        return self._engine._resolve(self)
+
+
 class ParallelCampaignEngine:
     """Shards exploration tasks across one transport's worker slots.
 
-    The engine owns *routing and ordering*; where tasks actually run is
-    the :class:`WorkerTransport`'s business.  By default the transport
-    is picked from ``workers``: inline in-process for ``workers <= 1``
-    (no fork, no pickling — the serial baseline), per-slot local
-    process pools otherwise.  Remote transports
-    (:mod:`repro.core.remote`) plug into the same interface, so the
-    orchestrator is transport-agnostic.
+    The engine owns *routing, ordering and failover*; where tasks
+    actually run is the :class:`WorkerTransport`'s business.  By
+    default the transport is picked from ``workers``: inline
+    in-process for ``workers <= 1`` (no fork, no pickling — the serial
+    baseline), per-slot local process pools otherwise.  Remote
+    transports (:mod:`repro.core.remote`) plug into the same
+    interface, so the orchestrator is transport-agnostic.
 
     Use as a context manager (or call :meth:`close`) so worker
     resources are released.
 
     Determinism contract: the engine never reorders results — batch
     :meth:`run` returns outcomes sorted by task index, and callers of
-    :meth:`submit` resolve futures in submission order — so the
+    :meth:`submit` resolve handles in submission order — so the
     orchestrator's merge sees one fixed outcome order at any worker
     count.  Routing is **sticky per node** (first-seen round-robin over
     slots, which is deterministic because submission order is): the
     slot that explored a node holds that node's solver-cache replica,
     so the next cycle's task needs only a delta, not the warm cache.
+
+    Failover preserves that contract: when a slot dies (transport-fatal
+    error, see :func:`is_transport_fatal`), the engine marks it dead,
+    re-routes its nodes over the surviving slots, rebuilds each
+    displaced node's replica from the attached coordinator's event
+    history (:meth:`SolverCacheCoordinator.recovery_sync_for`), and
+    requeues the failed task — all inside :meth:`TaskHandle.result`,
+    on the resolving thread, so merge order never changes and results
+    stay bit-identical to a failure-free run.  More than
+    ``max_worker_failures`` dead slots (default: all but one) raises
+    :class:`WorkerFailoverError` naming every dead worker.
     """
 
     def __init__(self, workers: int | None = None,
-                 transport: WorkerTransport | None = None):
+                 transport: WorkerTransport | None = None,
+                 max_worker_failures: int | None = None):
         if transport is None:
             count = resolve_workers(workers)
             transport = (
@@ -742,7 +980,26 @@ class ParallelCampaignEngine:
             )
         self._transport = transport
         self.workers = transport.slots
+        if max_worker_failures is not None and max_worker_failures < 0:
+            # Clamping would turn a "-1 = unlimited" guess into strict
+            # fail-fast mode — the opposite intent, silently.
+            raise ValueError(
+                f"max_worker_failures must be >= 0 (or None for all "
+                f"but one slot), got {max_worker_failures}"
+            )
+        self.max_worker_failures = (
+            self.workers - 1 if max_worker_failures is None
+            else max_worker_failures
+        )
         self._slot_of: dict[str, int] = {}
+        self._assigned = 0  # nodes routed so far (round-robin cursor)
+        self._dead_slots: set[int] = set()
+        # Nodes whose replica died with a slot and whose *next* task
+        # must carry a recovery sync (requeued tasks rebuild directly).
+        self._needs_rebuild: set[str] = set()
+        self._coordinator: SolverCacheCoordinator | None = None
+        self.failures: list[WorkerFailure] = []
+        self.tasks_requeued = 0
 
     @property
     def transport(self) -> WorkerTransport:
@@ -772,27 +1029,157 @@ class ParallelCampaignEngine:
         """
         self._transport.close()
 
+    def attach_coordinator(self, coordinator: SolverCacheCoordinator) -> None:
+        """Give failover access to the authoritative cache history.
+
+        Without a coordinator, tasks carrying a ``cache_sync`` cannot
+        be requeued (their replica state cannot be reconstructed), so
+        a slot death fails the campaign as it did pre-failover.
+
+        History recording only starts when failover could actually
+        consume it — more than one slot and a non-zero failure budget;
+        otherwise the first death fails the campaign before any
+        rebuild, and the log would only accumulate memory.
+        """
+        self._coordinator = coordinator
+        if self.workers > 1 and self.max_worker_failures > 0:
+            coordinator.enable_recovery_history()
+
+    def sync_for(self, node: str) -> CacheSync:
+        """Build the node's outbound cache sync, failover-aware.
+
+        The normal path delegates to the attached coordinator with the
+        node's sticky slot; a node displaced by a slot death gets a
+        recovery sync that rebuilds its replica on the new slot.
+        """
+        if self._coordinator is None:
+            raise RuntimeError("no cache coordinator attached")
+        slot = self.slot_for(node)
+        if node in self._needs_rebuild:
+            self._needs_rebuild.discard(node)
+            return self._coordinator.recovery_sync_for(node, slot=slot)
+        return self._coordinator.sync_for(node, slot=slot)
+
     def slot_for(self, node: str) -> int:
-        """The (sticky, deterministic) worker slot for one node."""
+        """The (sticky, deterministic) worker slot for one node.
+
+        Dead slots are skipped: a node first seen (or displaced) after
+        a failure round-robins over the surviving slots only.
+        """
         slot = self._slot_of.get(node)
         if slot is None:
-            slot = len(self._slot_of) % self.workers
+            live = [
+                candidate for candidate in range(self.workers)
+                if candidate not in self._dead_slots
+            ]
+            if not live:
+                raise self._no_survivors_error()
+            slot = live[self._assigned % len(live)]
+            self._assigned += 1
             self._slot_of[node] = slot
         return slot
 
-    def submit(self, task: ExplorationTask) -> "Future[TaskOutcome]":
-        """Schedule one task; returns a future resolving to its outcome.
+    def _no_survivors_error(self) -> WorkerFailoverError:
+        return WorkerFailoverError(
+            self.failures, self.max_worker_failures,
+            reason="no surviving worker slots: "
+                   + "; ".join(str(f) for f in self.failures),
+        )
+
+    def submit(self, task: ExplorationTask) -> TaskHandle:
+        """Schedule one task; returns a handle resolving to its outcome.
 
         The incremental interface the pipelined orchestrator uses: it
         submits each task as soon as its snapshot arrives from the
-        capture pipeline and resolves the futures strictly in task
+        capture pipeline and resolves the handles strictly in task
         order, so the merge is identical to :meth:`run`'s sorted batch.
         On the inline transport the task runs immediately.
         """
-        return self._transport.submit(self.slot_for(task.node), task)
+        slot = self.slot_for(task.node)
+        return TaskHandle(self, task, slot, self._dispatch(slot, task))
+
+    def _dispatch(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+        """Submit to the transport; dispatch-time errors become the
+        future's exception so failover handles them at resolve time.
+        Control-flow exceptions (Ctrl-C on the inline path) propagate.
+        """
+        try:
+            return self._transport.submit(slot, task)
+        except Exception as error:
+            future: Future[TaskOutcome] = Future()
+            future.set_exception(error)
+            return future
+
+    def _slot_label(self, slot: int) -> str:
+        label = getattr(self._transport, "slot_label", None)
+        return label(slot) if label is not None else f"worker slot {slot}"
+
+    def _fail_slot(self, slot: int, error: BaseException) -> None:
+        """Mark a slot dead, displace its nodes, enforce the budget."""
+        if slot not in self._dead_slots:
+            self._dead_slots.add(slot)
+            self.failures.append(
+                WorkerFailure(
+                    slot=slot,
+                    worker=self._slot_label(slot),
+                    error=f"{type(error).__name__}: {error}".splitlines()[0],
+                )
+            )
+            discard = getattr(self._transport, "discard_slot", None)
+            if discard is not None:
+                discard(slot)
+            for node, owner in list(self._slot_of.items()):
+                if owner == slot:
+                    del self._slot_of[node]
+                    self._needs_rebuild.add(node)
+        if len(self._dead_slots) >= self.workers:
+            raise self._no_survivors_error() from error
+        if len(self._dead_slots) > self.max_worker_failures:
+            raise WorkerFailoverError(
+                self.failures, self.max_worker_failures
+            ) from error
+
+    def _resolve(self, handle: TaskHandle) -> TaskOutcome:
+        """Resolve one handle, failing over across worker deaths.
+
+        Runs on the caller's (merge) thread: recovery syncs are built
+        from the coordinator at requeue time, when every earlier task's
+        outcome has already been absorbed — so the rebuilt replica is
+        exactly the state the dead slot would have held.  Each loop
+        iteration either returns, retires a previously-live slot, or
+        raises; slots are finite, so resolution terminates.
+        """
+        while True:
+            try:
+                return handle.future.result()
+            except Exception as error:
+                if not is_transport_fatal(error):
+                    raise
+                self._fail_slot(handle.slot, error)
+                task = handle.task
+                slot = self.slot_for(task.node)
+                if task.cache_sync is not None:
+                    if self._coordinator is None:
+                        raise WorkerFailoverError(
+                            self.failures, self.max_worker_failures,
+                            reason=f"cannot requeue {task.node!r}: no "
+                                   "cache coordinator attached for "
+                                   "replica recovery",
+                        ) from error
+                    self._needs_rebuild.discard(task.node)
+                    task = replace(
+                        task,
+                        cache_sync=self._coordinator.recovery_sync_for(
+                            task.node, slot=slot
+                        ),
+                    )
+                self.tasks_requeued += 1
+                handle.task = task
+                handle.slot = slot
+                handle.future = self._dispatch(slot, task)
 
     def run(self, tasks: Sequence[ExplorationTask]) -> list[TaskOutcome]:
         """Execute a batch; outcomes come back sorted by task index."""
         ordered = sorted(tasks, key=lambda task: task.index)
-        futures = [self.submit(task) for task in ordered]
-        return [future.result() for future in futures]
+        handles = [self.submit(task) for task in ordered]
+        return [handle.result() for handle in handles]

@@ -7,7 +7,9 @@ everything between :class:`~repro.core.parallel.ParallelCampaignEngine`
 and those daemons:
 
 * a **frame codec** — length-prefixed pickle frames (4-byte big-endian
-  length, then the pickled message tuple), the entire wire format;
+  length, 4-byte CRC-32 of the payload, then the pickled message
+  tuple), the entire wire format; corruption anywhere decodes to a
+  named ``ValueError``, never to silently different content;
 * :class:`RemoteWorkerState` — one daemon's long-lived state: the
   per-node solver-cache :class:`~repro.core.parallel.ReplicaStore`
   held warm across cycles (and campaigns — a new campaign token
@@ -57,7 +59,9 @@ import socket
 import struct
 import sys
 import threading
+import time
 import traceback
+import zlib
 from collections import deque
 from concurrent.futures import Future
 
@@ -65,10 +69,16 @@ from repro.core.parallel import (
     ExplorationTask,
     ReplicaStore,
     TaskOutcome,
+    WorkerLostError,
     run_exploration_task,
 )
 
-_HEADER = struct.Struct(">I")
+# Payload length, then CRC-32 of the payload: pickle itself has no
+# integrity protection (a flipped byte inside a string silently changes
+# content), so the codec carries its own checksum — corruption becomes
+# a named decode error the connection layer classifies as a worker
+# death, never silently different campaign results.
+_HEADER = struct.Struct(">II")
 # Sanity bound, not a protocol limit: a task frame is ~100 KiB and a
 # merge chunk O(KB); anything near this is a corrupted length prefix.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
@@ -78,31 +88,70 @@ class RemoteWorkerError(RuntimeError):
     """A task failed on, or was lost by, a remote worker."""
 
 
+class WorkerDiedError(RemoteWorkerError, WorkerLostError):
+    """The worker *slot* died: connection dropped, daemon crashed, or
+    the stream desynchronized beyond recovery.
+
+    Distinct from a plain :class:`RemoteWorkerError` error frame (the
+    task ran and raised — deterministic, never retried): this mixes in
+    :class:`~repro.core.parallel.WorkerLostError`, which is what the
+    engine's failover classifies as recoverable by requeueing the
+    slot's tasks on a survivor.  ``address`` names the peer when known.
+    """
+
+    def __init__(self, message: str,
+                 address: tuple[str, int] | str | None = None):
+        super().__init__(message)
+        self.address = address
+
+
 # -- frame codec --------------------------------------------------------------
 
 
 def encode_frame(message: tuple) -> bytes:
-    """One message as a length-prefixed pickle frame."""
+    """One message as a length-prefixed, checksummed pickle frame."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > MAX_FRAME_BYTES:
         raise ValueError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte bound"
         )
-    return _HEADER.pack(len(payload)) + payload
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
 def decode_frame(frame: bytes) -> tuple:
     """Inverse of :func:`encode_frame` (whole frame in hand)."""
     if len(frame) < _HEADER.size:
         raise ValueError("frame shorter than its length prefix")
-    (length,) = _HEADER.unpack_from(frame)
+    length, checksum = _HEADER.unpack_from(frame)
     if length != len(frame) - _HEADER.size:
         raise ValueError(
             f"frame length prefix says {length} payload bytes, got "
             f"{len(frame) - _HEADER.size}"
         )
-    return pickle.loads(frame[_HEADER.size:])
+    return _loads_payload(frame[_HEADER.size:], checksum)
+
+
+def _loads_payload(payload: bytes, checksum: int) -> tuple:
+    """Verify and unpickle a frame payload; corruption is ValueError.
+
+    The CRC catches content corruption pickle would happily decode
+    into *different* data; the broad except turns the grab-bag of
+    exceptions ``pickle.loads`` raises on garbage opcodes
+    (``UnpicklingError``, ``EOFError``, stray ``AttributeError``…)
+    into one named, catchable failure mode.
+    """
+    if zlib.crc32(payload) != checksum:
+        raise ValueError(
+            f"frame checksum mismatch (payload CRC "
+            f"{zlib.crc32(payload):08x}, header says {checksum:08x})"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise ValueError(
+            f"corrupt frame payload ({type(error).__name__}: {error})"
+        ) from error
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
@@ -124,7 +173,7 @@ def recv_message(sock: socket.socket) -> tuple[tuple, int] | None:
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
+    length, checksum = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ValueError(
             f"incoming frame claims {length} bytes; refusing "
@@ -133,7 +182,7 @@ def recv_message(sock: socket.socket) -> tuple[tuple, int] | None:
     payload = _recv_exact(sock, length)
     if payload is None:
         raise ConnectionError("connection closed mid-frame")
-    return pickle.loads(payload), _HEADER.size + length
+    return _loads_payload(payload, checksum), _HEADER.size + length
 
 
 def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
@@ -329,7 +378,7 @@ class WorkerServer:
                         return
                 if response is not None:
                     conn.sendall(encode_frame(response))
-        except (ConnectionError, OSError, EOFError,
+        except (ConnectionError, OSError, EOFError, ValueError,
                 pickle.UnpicklingError):
             return  # orchestrator went away; the daemon lives on
         finally:
@@ -397,10 +446,22 @@ class LoopbackTransport:
         self.bytes_sent = 0
         self.bytes_received = 0
         self._closed = False
+        self._dead: set[int] = set()
 
     def worker_state(self, slot: int) -> RemoteWorkerState:
         """The slot's worker state (tests poke at replicas through it)."""
         return self._states[slot]
+
+    def slot_label(self, slot: int) -> str:
+        return f"loopback slot {slot}"
+
+    def discard_slot(self, slot: int) -> None:
+        """Retire a dead slot: no more tasks, excluded from broadcasts."""
+        self._dead.add(slot)
+
+    def alive(self, slot: int) -> bool:
+        """Passive slot health: not retired, transport open."""
+        return not self._closed and slot not in self._dead
 
     def _exchange(self, slot: int, message: tuple) -> tuple | None:
         frame = encode_frame(message)
@@ -416,6 +477,14 @@ class LoopbackTransport:
         if self._closed:
             raise RuntimeError("loopback transport is closed")
         future: Future[TaskOutcome] = Future()
+        if slot in self._dead:
+            future.set_exception(
+                WorkerDiedError(
+                    f"loopback slot {slot} is dead",
+                    address=self.slot_label(slot),
+                )
+            )
+            return future
         response = self._exchange(
             slot, ("task", next(self._request_ids), task)
         )
@@ -442,7 +511,8 @@ class LoopbackTransport:
             raise RuntimeError("loopback transport is closed")
         before = self.bytes_sent
         for slot in range(self.slots):
-            self._exchange(slot, message)
+            if slot not in self._dead:
+                self._exchange(slot, message)
         return self.bytes_sent - before
 
     def close(self) -> None:
@@ -458,15 +528,10 @@ class _Connection:
     routing mechanism).
     """
 
-    def __init__(self, address: tuple[str, int], timeout: float):
+    def __init__(self, address: tuple[str, int], timeout: float,
+                 attempts: int = 1, backoff_s: float = 0.1):
         self.address = address
-        try:
-            self._sock = socket.create_connection(address, timeout=timeout)
-        except OSError as error:
-            raise RemoteWorkerError(
-                f"cannot reach remote worker at "
-                f"{address[0]}:{address[1]}: {error}"
-            ) from error
+        self._sock = self._dial(address, timeout, attempts, backoff_s)
         self._sock.settimeout(None)
         self._send_lock = threading.Lock()
         self._pending: deque[tuple[int, Future]] = deque()
@@ -475,21 +540,67 @@ class _Connection:
         self.bytes_sent = 0
         self.bytes_received = 0
         self._closed = False
+        # Set (under the send lock) when the *peer* failed — as opposed
+        # to our own close(); every later interaction fails fast with
+        # the original cause so the engine's failover classifies it.
+        self.dead: BaseException | None = None
         self._reader = threading.Thread(
             target=self._read_loop,
             name=f"remote-reader-{address[0]}:{address[1]}", daemon=True,
         )
         self._reader.start()
 
+    @staticmethod
+    def _dial(address: tuple[str, int], timeout: float,
+              attempts: int, backoff_s: float) -> socket.socket:
+        """Connect with bounded retry + exponential backoff.
+
+        Campaign *start* is the one moment retrying is safe and useful
+        (a daemon still booting, a load balancer warming up); once a
+        campaign is running, a lost daemon's replicas are gone and
+        reconnecting would be wrong — failover-by-replay onto a
+        surviving slot is the recovery path instead.
+        """
+        delay = backoff_s
+        for attempt in range(max(1, attempts)):
+            try:
+                return socket.create_connection(address, timeout=timeout)
+            except OSError as error:
+                if attempt + 1 >= max(1, attempts):
+                    raise RemoteWorkerError(
+                        f"cannot reach remote worker at "
+                        f"{address[0]}:{address[1]} "
+                        f"after {attempt + 1} attempt(s): {error}"
+                    ) from error
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")
+
+    def _died(self, cause: BaseException | str) -> WorkerDiedError:
+        """The canonical slot-death error for this connection."""
+        if isinstance(cause, WorkerDiedError):
+            return cause
+        return WorkerDiedError(
+            f"remote worker {self.address[0]}:{self.address[1]} died: "
+            f"{cause}",
+            address=self.address,
+        )
+
     def send(self, message: tuple) -> int:
         frame = encode_frame(message)
         with self._send_lock:
+            if self.dead is not None:
+                raise self._died(self.dead)
             if self._closed:
                 raise RemoteWorkerError(
                     f"connection to {self.address[0]}:{self.address[1]} "
                     "is closed"
                 )
-            self._sock.sendall(frame)
+            try:
+                self._sock.sendall(frame)
+            except OSError as error:
+                self.dead = error
+                raise self._died(error) from error
             self.bytes_sent += len(frame)
         return len(frame)
 
@@ -507,7 +618,7 @@ class _Connection:
             if not future.done():
                 future.set_exception(
                     error if isinstance(error, RemoteWorkerError)
-                    else RemoteWorkerError(str(error))
+                    else self._died(error)
                 )
         return future
 
@@ -554,16 +665,20 @@ class _Connection:
             error = ConnectionError(
                 "worker closed the connection with tasks in flight"
             )
+        if error is not None:
+            with self._send_lock:
+                if self.dead is None:
+                    self.dead = error
         self._drain_pending(error)
 
     def _drain_pending(self, error: BaseException | None) -> None:
         """Resolve every still-pending future after the stream ended.
 
-        With an ``error``, waiters get a :class:`RemoteWorkerError`
-        naming the worker and cause (the futures are pending, so
-        ``set_exception`` must come before any cancel — a cancelled
-        future would swallow the context); on a clean shutdown they
-        are simply cancelled.
+        With an ``error``, waiters get a :class:`WorkerDiedError`
+        naming the peer and cause — the failover-classifiable signal —
+        (the futures are pending, so ``set_exception`` must come before
+        any cancel — a cancelled future would swallow the context); on
+        a clean shutdown they are simply cancelled.
         """
         with self._pending_lock:
             pending = list(self._pending)
@@ -571,14 +686,31 @@ class _Connection:
         for _, future in pending:
             if error is not None:
                 if not future.done():
-                    future.set_exception(
-                        RemoteWorkerError(
-                            f"connection to {self.address[0]}:"
-                            f"{self.address[1]} failed: {error}"
-                        )
-                    )
+                    future.set_exception(self._died(error))
             else:
                 future.cancel()
+
+    def discard(self, cause: BaseException | str) -> None:
+        """Declare the peer dead: fail fast forever, drop the socket.
+
+        The failover path's counterpart to :meth:`close` — pending
+        futures resolve with the death error (never a bare cancel, so
+        requeue logic sees a classifiable cause) and later submits
+        fail fast without touching the network.
+        """
+        with self._send_lock:
+            if self.dead is None:
+                self.dead = (
+                    cause if isinstance(cause, BaseException)
+                    else ConnectionError(str(cause))
+                )
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+        self._reader.join(timeout=5.0)
+        self._drain_pending(self.dead)
 
     def close(self) -> None:
         with self._send_lock:
@@ -589,23 +721,33 @@ class _Connection:
                 pass
             self._sock.close()
         self._reader.join(timeout=5.0)
-        self._drain_pending(None)
+        self._drain_pending(self.dead)
 
 
 class SocketTransport:
     """Length-prefixed pickle frames over TCP to worker daemons.
 
     One worker slot per address, one persistent connection per slot,
-    opened eagerly so a dead daemon fails the campaign at start rather
-    than mid-cycle.  Byte counters aggregate across connections for
-    the dispatch benchmark.  :meth:`close` drops the connections and
-    cancels undelivered futures; the daemons — and their warm replicas
-    — live on for the next campaign.
+    opened eagerly — with bounded retry + exponential backoff, so a
+    daemon still booting gets a grace period but a truly absent one
+    fails the campaign at start rather than mid-cycle.  Byte counters
+    aggregate across connections for the dispatch benchmark.
+
+    Failover surface: a slot whose connection died resolves its
+    futures with :class:`WorkerDiedError` (classifiable, names the
+    peer), :meth:`discard_slot` retires it permanently, and merge
+    broadcasts skip retired/dead slots instead of letting one broken
+    pipe sink the cycle — the slot's nodes are being requeued anyway.
+    :meth:`close` drops the connections and cancels undelivered
+    futures; the daemons — and their warm replicas — live on for the
+    next campaign.
     """
 
     supports_push = True
 
-    def __init__(self, addresses, connect_timeout: float = 10.0):
+    def __init__(self, addresses, connect_timeout: float = 10.0,
+                 connect_attempts: int = 3,
+                 connect_backoff_s: float = 0.1):
         parsed = [parse_address(address) for address in addresses]
         if not parsed:
             raise ValueError(
@@ -613,10 +755,15 @@ class SocketTransport:
             )
         self.slots = len(parsed)
         self._connections: list[_Connection] = []
+        self._discarded: set[int] = set()
         try:
             for address in parsed:
                 self._connections.append(
-                    _Connection(address, timeout=connect_timeout)
+                    _Connection(
+                        address, timeout=connect_timeout,
+                        attempts=connect_attempts,
+                        backoff_s=connect_backoff_s,
+                    )
                 )
         except RemoteWorkerError:
             self.close()
@@ -630,6 +777,24 @@ class SocketTransport:
     def bytes_received(self) -> int:
         return sum(conn.bytes_received for conn in self._connections)
 
+    def slot_label(self, slot: int) -> str:
+        host, port = self._connections[slot].address
+        return f"{host}:{port}"
+
+    def alive(self, slot: int) -> bool:
+        """Passive slot health: connected and not retired."""
+        return (
+            slot not in self._discarded
+            and self._connections[slot].dead is None
+        )
+
+    def discard_slot(self, slot: int) -> None:
+        """Retire a dead slot: drop its connection, skip its broadcasts."""
+        self._discarded.add(slot)
+        self._connections[slot].discard(
+            ConnectionError("worker slot retired after failure")
+        )
+
     def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
         return self._connections[slot].submit(task)
 
@@ -641,7 +806,23 @@ class SocketTransport:
         return self._broadcast(("commit", token, epoch, chunks))
 
     def _broadcast(self, message: tuple) -> int:
-        return sum(conn.send(message) for conn in self._connections)
+        """Send to every live slot; a dead slot cannot sink the merge.
+
+        A send failure marks that connection dead (its in-flight
+        futures resolve with the death error, which is the engine's
+        requeue trigger) and the broadcast carries on — the merge
+        events a dead slot missed travel inside the recovery sync its
+        nodes get when they are re-routed.
+        """
+        total = 0
+        for slot, conn in enumerate(self._connections):
+            if slot in self._discarded or conn.dead is not None:
+                continue
+            try:
+                total += conn.send(message)
+            except (RemoteWorkerError, OSError):
+                continue  # conn.dead is now set; failover will notice
+        return total
 
     def close(self) -> None:
         for conn in self._connections:

@@ -83,12 +83,21 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
                 "entries_merged": result.cache_entries_merged,
                 "syncs": result.cache_syncs,
             },
-            # Dispatch transport: which backend ran the tasks and its
-            # total framed wire traffic (0 for in-process backends).
+            # Dispatch transport: which backend ran the tasks, its
+            # total framed wire traffic (0 for in-process backends),
+            # and the failover ledger — worker slots lost mid-campaign,
+            # tasks requeued onto survivors, and solver-cache replicas
+            # rebuilt from the event history (results are bit-identical
+            # to a failure-free run either way).
             "dispatch_transport": {
                 "transport": result.transport,
                 "wire_bytes_sent": result.wire_bytes_sent,
                 "wire_bytes_received": result.wire_bytes_received,
+                "worker_failures": result.worker_failures,
+                "max_worker_failures": result.max_worker_failures,
+                "dead_workers": list(result.dead_workers),
+                "tasks_requeued": result.tasks_requeued,
+                "cache_replica_rebuilds": result.cache_replica_rebuilds,
             },
             # Hex-rendered so consumers that read JSON numbers as
             # doubles (> 2^53 loses bits) still compare exactly; the

@@ -143,6 +143,17 @@ def render_campaign(result: CampaignResult) -> str:
             f"{result.wire_bytes_received / 1024:.1f} KiB in "
             f"({result.transport})"
         )
+    if result.worker_failures or result.tasks_requeued:
+        dead = (
+            " (" + ", ".join(result.dead_workers) + ")"
+            if result.dead_workers
+            else ""
+        )
+        lines.append(
+            f"worker failover     : {result.worker_failures} slot(s) "
+            f"lost{dead}, {result.tasks_requeued} task(s) requeued, "
+            f"{result.cache_replica_rebuilds} replica(s) rebuilt"
+        )
     lines += [
         _rule(),
         f"{'node':<8}{'strategy':<10}{'execs':>7}{'paths':>7}"

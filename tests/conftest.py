@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import signal
 import sys
 
 import pytest
@@ -26,6 +27,35 @@ from repro.bgp import faults
 from repro.core.live import LiveSystem
 from repro.topo.demo27 import build_demo27
 from repro.topo.gadgets import build_bad_gadget
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Enforce the ``timeout`` marker without a plugin dependency.
+
+    Slow socket tests budget their wall clock so a hung daemon or a
+    lost frame fails loudly instead of stalling the whole suite; the
+    alarm fires on the main thread, which is where those tests block.
+    SIGALRM is POSIX-only — elsewhere the marker is a no-op, and the
+    CI timeout is the backstop.
+    """
+    marker = item.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    seconds = float(marker.args[0]) if marker.args else 60.0
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:.0f}s timeout marker"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -316,12 +316,14 @@ class TestAbortAndCleanup:
         engine.close()
         assert transport._pools == [None, None]
 
-    def test_dead_worker_surfaces_a_named_error(self):
-        """A worker dying mid-task must raise RemoteWorkerError naming
-        the worker, not a bare CancelledError."""
-        from repro.core.remote import recv_message
+    def test_dead_worker_surfaces_worker_died_with_address(self):
+        """A worker hanging up mid-task must raise WorkerDiedError
+        naming the peer address — the failover-classifiable signal —
+        not a bare CancelledError or unpickling error."""
+        from repro.core.remote import WorkerDiedError, recv_message
 
         flaky = socket.create_server(("127.0.0.1", 0))
+        port = flaky.getsockname()[1]
 
         def accept_read_and_die():
             conn, _ = flaky.accept()
@@ -330,17 +332,18 @@ class TestAbortAndCleanup:
 
         killer = threading.Thread(target=accept_read_and_die, daemon=True)
         killer.start()
-        transport = SocketTransport(
-            [f"127.0.0.1:{flaky.getsockname()[1]}"]
-        )
+        transport = SocketTransport([f"127.0.0.1:{port}"])
         try:
             task = ExplorationTask(
                 index=0, cycle=0, node="r1", snapshot=None,
                 suite=default_property_suite(), claims=(), seed=0,
             )
             future = transport.submit(0, task)
-            with pytest.raises(RemoteWorkerError, match="failed"):
+            with pytest.raises(WorkerDiedError, match="died") as caught:
                 future.result(timeout=10)
+            assert caught.value.address == ("127.0.0.1", port)
+            assert str(port) in str(caught.value)
+            assert not transport.alive(0)
         finally:
             killer.join(timeout=2.0)
             transport.close()

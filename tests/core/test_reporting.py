@@ -86,3 +86,54 @@ class TestCampaignSerialization:
         assert len(reports) == 1
         assert reports[0].fault_class == "operator_mistake"
         assert reports[0].evidence["owners"] == [65001]
+
+
+class TestDispatchTransportBlock:
+    """The dispatch_transport block: the JSON contract the CI smoke
+    jobs and operators' tooling read transport and failover facts
+    from."""
+
+    def test_defaults_for_a_serial_campaign(self):
+        block = campaign_to_dict(sample_campaign())["summary"][
+            "dispatch_transport"
+        ]
+        assert block == {
+            "transport": "local",
+            "wire_bytes_sent": 0,
+            "wire_bytes_received": 0,
+            "worker_failures": 0,
+            "max_worker_failures": 0,
+            "dead_workers": [],
+            "tasks_requeued": 0,
+            "cache_replica_rebuilds": 0,
+        }
+
+    def test_failover_ledger_round_trips_through_json(self):
+        result = sample_campaign()
+        result.transport = "socket"
+        result.wire_bytes_sent = 123_456
+        result.wire_bytes_received = 654
+        result.worker_failures = 1
+        result.max_worker_failures = 1
+        result.dead_workers = ["127.0.0.1:7411"]
+        result.tasks_requeued = 2
+        result.cache_replica_rebuilds = 2
+        block = json.loads(campaign_to_json(result))["summary"][
+            "dispatch_transport"
+        ]
+        assert block["transport"] == "socket"
+        assert block["wire_bytes_sent"] == 123_456
+        assert block["wire_bytes_received"] == 654
+        assert block["worker_failures"] == 1
+        assert block["max_worker_failures"] == 1
+        assert block["dead_workers"] == ["127.0.0.1:7411"]
+        assert block["tasks_requeued"] == 2
+        assert block["cache_replica_rebuilds"] == 2
+
+    def test_dead_worker_list_is_a_copy(self):
+        """Serialization must not alias the result's mutable list."""
+        result = sample_campaign()
+        result.dead_workers = ["a:1"]
+        block = campaign_to_dict(result)["summary"]["dispatch_transport"]
+        block["dead_workers"].append("b:2")
+        assert result.dead_workers == ["a:1"]

@@ -64,6 +64,25 @@ class TestParser:
                 ["campaign", "--transport", "carrier-pigeon"]
             )
 
+    def test_max_worker_failures_flag(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.max_worker_failures is None  # auto: all but one
+        args = build_parser().parse_args(
+            ["campaign", "--max-worker-failures", "0"]
+        )
+        assert args.max_worker_failures == 0
+        args = build_parser().parse_args(
+            ["campaign", "--max-worker-failures", "3"]
+        )
+        assert args.max_worker_failures == 3
+
+    def test_negative_max_worker_failures_rejected(self):
+        """-1 must not silently become strict fail-fast mode."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--max-worker-failures", "-1"]
+            )
+
     def test_remote_worker_defaults(self):
         args = build_parser().parse_args(["remote-worker"])
         assert args.host == "127.0.0.1"

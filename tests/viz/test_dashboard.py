@@ -90,3 +90,60 @@ class TestCampaignRendering:
         )
         text = render_campaign(result)
         assert "5 (1 distinct)" in text
+
+
+class TestTransportAndFailoverLines:
+    """The dispatch-transport and failover counter lines: rendered
+    exactly when their counters are non-zero, with the numbers and
+    worker names an operator needs to act."""
+
+    def test_quiet_campaign_renders_neither_line(self):
+        text = render_campaign(CampaignResult())
+        assert "dispatch wire" not in text
+        assert "worker failover" not in text
+        assert "cache transport" not in text
+
+    def test_dispatch_wire_line_shows_transport_and_kib(self):
+        result = CampaignResult(
+            transport="socket",
+            wire_bytes_sent=4096,
+            wire_bytes_received=2048,
+        )
+        text = render_campaign(result)
+        assert "dispatch wire       : 4.0 KiB out / 2.0 KiB in" in text
+        assert "(socket)" in text
+
+    def test_cache_transport_line_shows_shipped_and_pushed(self):
+        result = CampaignResult(
+            cache_syncs=6,
+            cache_bytes_shipped_out=1024,
+            cache_bytes_shipped_in=1024,
+            cache_bytes_pushed=2048,
+            cache_bytes_full_out=51200,
+            cache_bytes_full_in=51200,
+            cache_entries_merged=7,
+        )
+        text = render_campaign(result)
+        assert "cache transport     : 4.0 KiB shipped" in text
+        assert "(2.0 KiB pushed)" in text
+        assert "7 entries merged" in text
+        assert "96% saved" in text
+
+    def test_failover_line_names_dead_workers_and_counts(self):
+        result = CampaignResult(
+            worker_failures=1,
+            tasks_requeued=3,
+            dead_workers=["127.0.0.1:7411"],
+            cache_replica_rebuilds=2,
+        )
+        text = render_campaign(result)
+        assert (
+            "worker failover     : 1 slot(s) lost (127.0.0.1:7411), "
+            "3 task(s) requeued, 2 replica(s) rebuilt"
+        ) in text
+
+    def test_workers_line_names_the_transport(self):
+        text = render_campaign(
+            CampaignResult(workers=2, transport="loopback")
+        )
+        assert "workers             : 2 via loopback transport" in text
