@@ -24,7 +24,7 @@ import benchlib
 from repro.bgp.damping import DampingParams
 from repro.bgp.errors import BGPError
 from repro.bgp.messages import decode_message
-from repro.concolic.engine import ConcolicEngine
+from repro.concolic.engine import ConcolicEngine, ExplorationSpec
 from repro.concolic.grammar import UpdateGrammar
 from repro.concolic.solver import Solver
 from repro.core.live import LiveSystem
@@ -47,8 +47,7 @@ def test_frontier_discipline(benchmark, frontier):
         engine = ConcolicEngine(
             program,
             solver=Solver(seed=7),
-            max_executions=120,
-            frontier=frontier,
+            spec=ExplorationSpec(frontier=frontier, max_executions=120),
         )
         grammar = UpdateGrammar(rng=random.Random(11))
         seeds = [

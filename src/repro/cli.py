@@ -90,6 +90,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
             pipeline=args.pipeline,
+            frontier=args.frontier,
+            frontier_shards=args.frontier_shards,
             solver_cache_size=args.solver_cache_size,
             share_solver_caches=args.share_solver_caches,
             transport=args.transport,
@@ -184,6 +186,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "overlapped with exploration (parallel "
                                "campaigns only; results are identical "
                                "either way)")
+    campaign.add_argument("--frontier", default="bfs",
+                          choices=("bfs", "dfs", "coverage", "sharded"),
+                          help="branch-frontier discipline for concolic "
+                               "exploration; 'sharded' splits each "
+                               "session's frontier into parallel shard "
+                               "tasks with work stealing at round "
+                               "boundaries")
+    campaign.add_argument("--frontier-shards", type=_positive_int,
+                          default=1, metavar="N",
+                          help="max shard tasks per session round; > 1 "
+                               "implies --frontier sharded (results "
+                               "depend on N but not on the worker count)")
     campaign.add_argument("--solver-cache-size", type=_positive_int,
                           default=4096,
                           help="FIFO bound for each explorer node's "

@@ -14,6 +14,13 @@ input, the engine:
 Crashes (unexpected exceptions from the program) are first-class results:
 DiCE's explorer harvests them as programming-error fault candidates.
 
+Configuration lives in one place: :class:`ExplorationSpec` names the
+frontier discipline, budgets, stop conditions and shard policy, and the
+module-level :func:`explore` is the single entry point.  The queue and
+dedup state live in an explicit :class:`~repro.concolic.frontier.
+Frontier` value, so a session's unexplored branches can be shipped to
+other workers (see :meth:`ConcolicEngine.run_shard`).
+
 The module also provides :class:`RandomByteExplorer`, the byte-flipping
 fuzzer used as the baseline in EXP-EXPLORE.  It shares the execution and
 path-measurement machinery so coverage numbers are directly comparable.
@@ -22,11 +29,19 @@ path-measurement machinery so coverage numbers are directly comparable.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.concolic import path as pathmod
 from repro.concolic.expr import shape_hash
+from repro.concolic.frontier import (
+    Frontier,
+    FrontierDiscipline,
+    FrontierEntry,
+    plan_round,
+    resolve_discipline,
+)
 from repro.concolic.solver import Solver
 from repro.concolic.symbolic import PathRecorder, SymBytes
 
@@ -34,6 +49,38 @@ Program = Callable[[SymBytes], Any]
 
 # Exceptions that indicate harness bugs rather than program behaviour.
 _HARNESS_ERRORS = (KeyboardInterrupt, SystemExit, MemoryError)
+
+
+@dataclass(frozen=True)
+class ExplorationSpec:
+    """Everything that configures one exploration session.
+
+    Call sites used to hand-reassemble ``ConcolicEngine`` keyword
+    arguments; a spec travels as one value, validates once, and pickles
+    (shard tasks carry their spec to remote workers).
+    """
+
+    frontier: FrontierDiscipline | str = FrontierDiscipline.BFS
+    max_executions: int = 200
+    max_branches_per_run: int = 50_000
+    stop_on_first_crash: bool = False
+    # Shard policy for the SHARDED discipline: the intra-session
+    # parallelism ceiling.  Ignored (must stay 1) for the serial
+    # disciplines.
+    shards: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "frontier", resolve_discipline(self.frontier))
+        if self.max_executions < 1:
+            raise ValueError("max_executions must be >= 1")
+        if self.max_branches_per_run < 1:
+            raise ValueError("max_branches_per_run must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shards > 1 and self.frontier is not FrontierDiscipline.SHARDED:
+            raise ValueError(
+                "shards > 1 requires the 'sharded' frontier discipline"
+            )
 
 
 @dataclass
@@ -53,8 +100,8 @@ class Execution:
         return self.exception is not None
 
     @property
-    def signature(self) -> tuple:
-        """Path identity."""
+    def signature(self) -> int:
+        """Path identity (process-stable 64-bit digest)."""
         return pathmod.signature(self.branches)
 
 
@@ -96,25 +143,49 @@ class ConcolicEngine:
     FRONTIER_BFS = "bfs"
     FRONTIER_DFS = "dfs"
     FRONTIER_COVERAGE = "coverage"
+    FRONTIER_SHARDED = "sharded"
 
     def __init__(
         self,
         program: Program,
         solver: Solver | None = None,
-        max_executions: int = 200,
-        max_branches_per_run: int = 50_000,
-        stop_on_first_crash: bool = False,
-        frontier: str = FRONTIER_BFS,
+        max_executions: int | None = None,
+        max_branches_per_run: int | None = None,
+        stop_on_first_crash: bool | None = None,
+        frontier: str | FrontierDiscipline | None = None,
+        *,
+        spec: ExplorationSpec | None = None,
     ):
-        if frontier not in (self.FRONTIER_BFS, self.FRONTIER_DFS,
-                            self.FRONTIER_COVERAGE):
-            raise ValueError(f"unknown frontier discipline {frontier!r}")
+        legacy = {
+            "max_executions": max_executions,
+            "max_branches_per_run": max_branches_per_run,
+            "stop_on_first_crash": stop_on_first_crash,
+            "frontier": frontier,
+        }
+        passed = {key: value for key, value in legacy.items()
+                  if value is not None}
+        if spec is None:
+            if passed:
+                warnings.warn(
+                    "configuring ConcolicEngine through keyword arguments "
+                    "is deprecated; pass spec=ExplorationSpec(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            spec = ExplorationSpec(**passed)
+        elif passed:
+            raise ValueError(
+                "pass either spec= or the legacy keyword arguments, not both"
+            )
         self._program = program
         self._solver = solver if solver is not None else Solver()
-        self._max_executions = max_executions
-        self._max_branches = max_branches_per_run
-        self._stop_on_first_crash = stop_on_first_crash
-        self._frontier = frontier
+        self._spec = spec
+        self._max_branches = spec.max_branches_per_run
+
+    @property
+    def spec(self) -> ExplorationSpec:
+        """The session configuration this engine runs under."""
+        return self._spec
 
     def run_once(self, sym_input: SymBytes, bound: int = 0) -> Execution:
         """Execute the program once, recording its path."""
@@ -141,65 +212,140 @@ class ConcolicEngine:
 
     def explore(self, seed_inputs: list[SymBytes]) -> ExplorationResult:
         """Run generational search from the given seeds."""
+        spec = self._spec
+        frontier = Frontier.from_seeds(seed_inputs, spec.frontier)
+        if spec.frontier is FrontierDiscipline.SHARDED:
+            return self._explore_sharded(frontier)
+        return self.run_shard(frontier, spec.max_executions)
+
+    def run_shard(self, frontier: Frontier, budget: int) -> ExplorationResult:
+        """Run the generational loop over an explicit frontier.
+
+        The primitive everything else composes: ``explore`` runs it
+        once over the whole session frontier; the campaign layer runs
+        it per shard on whichever worker the shard landed on.  The
+        frontier is mutated in place (entries consumed, children and
+        dedup digests added) so the caller can ship the leftovers.
+
+        Solver counters are recorded as *deltas* over this call, so
+        summing shard results never double-counts a shared solver.
+        """
         started = time.perf_counter()
         result = ExplorationResult()
-        seen_paths: set[tuple] = set()
-        seen_flips: set[tuple] = set()
-        seen_constraints: set[int] = set()
-        seen_shapes: set[int] = set()
-        # Queue entries: (input, bound, novelty) where novelty is the
-        # flipped constraint's hash-unseen-ness at enqueue time; the
-        # coverage discipline serves novel flips first.
-        queue: list[tuple[SymBytes, int, bool]] = [
-            (seed, 0, True) for seed in seed_inputs
-        ]
-        while queue and result.executions < self._max_executions:
-            if self._frontier == self.FRONTIER_DFS:
-                sym_input, bound, _ = queue.pop()
-            elif self._frontier == self.FRONTIER_COVERAGE:
-                index = next(
-                    (i for i, entry in enumerate(queue) if entry[2]), 0
-                )
-                sym_input, bound, _ = queue.pop(index)
-            else:
-                sym_input, bound, _ = queue.pop(0)
-            execution = self.run_once(sym_input, bound)
+        stats_base = self._solver_stats_snapshot()
+        while frontier.entries and result.executions < budget:
+            entry = frontier.pop()
+            execution = self.run_once(entry.input, entry.bound)
             result.executions += 1
             for constraint, _ in execution.branches:
-                seen_constraints.add(hash(constraint))
-                seen_shapes.add(shape_hash(constraint))
+                frontier.seen_constraints.add(constraint.fp)
+                frontier.seen_shapes.add(shape_hash(constraint))
             sig = execution.signature
-            if sig not in seen_paths:
-                seen_paths.add(sig)
+            if sig not in frontier.seen_paths:
+                frontier.seen_paths.add(sig)
                 result.unique_paths += 1
             result.progress.append((result.executions, result.unique_paths))
             if execution.crashed:
                 result.crashes.append(execution)
-                if self._stop_on_first_crash:
+                if self._spec.stop_on_first_crash:
                     break
-            queue.extend(
-                self._expand(execution, seen_flips, seen_constraints, result)
-            )
-        result.frontier_exhausted = not queue
+            for child in self._expand(execution, frontier, entry.lineage):
+                frontier.push(child)
+        result.frontier_exhausted = not frontier.entries
         result.duration = time.perf_counter() - started
-        result.branch_coverage = len(seen_constraints)
-        result.shape_coverage = len(seen_shapes)
-        result.solver_queries = self._solver.stats.queries
-        result.solver_sat = self._solver.stats.sat
-        result.solver_cache_hits = self._solver.stats.cache_hits
-        result.solver_cache_misses = self._solver.stats.cache_misses
-        result.solver_cache_merged_hits = self._solver.stats.cache_merged_hits
+        result.branch_coverage = len(frontier.seen_constraints)
+        result.shape_coverage = len(frontier.seen_shapes)
+        self._record_solver_stats(result, stats_base)
         return result
+
+    def _explore_sharded(self, frontier: Frontier) -> ExplorationResult:
+        """Round-structured sharded search, run inline.
+
+        The single-process reference for the campaign layer's
+        distributed form: partition by lineage, explore each shard
+        breadth-first under its budget slice, merge first-writer-wins,
+        then re-deal leftovers (work stealing) until budget or frontier
+        runs dry.
+        """
+        spec = self._spec
+        started = time.perf_counter()
+        total = ExplorationResult()
+        round_index = 0
+        plan = plan_round(
+            len(frontier.entries), spec.max_executions, spec.shards
+        )
+        while plan is not None:
+            shards = (
+                frontier.partition(plan.count) if round_index == 0
+                else frontier.split(plan.count)
+            )
+            stop = False
+            for shard, shard_budget in zip(shards, plan.budgets):
+                shard_result = self.run_shard(shard, shard_budget)
+                self._absorb_shard_result(total, shard_result)
+                if shard_result.crashes and spec.stop_on_first_crash:
+                    stop = True
+            frontier = Frontier.merge(shards, spec.frontier)
+            total.progress.append(
+                (total.executions, len(frontier.seen_paths))
+            )
+            if stop:
+                break
+            round_index += 1
+            plan = plan_round(
+                len(frontier.entries),
+                spec.max_executions - total.executions,
+                spec.shards,
+            )
+        total.frontier_exhausted = not frontier.entries
+        total.unique_paths = len(frontier.seen_paths)
+        total.branch_coverage = len(frontier.seen_constraints)
+        total.shape_coverage = len(frontier.seen_shapes)
+        total.duration = time.perf_counter() - started
+        return total
+
+    @staticmethod
+    def _absorb_shard_result(
+        total: ExplorationResult, shard: ExplorationResult
+    ) -> None:
+        """Fold one shard's counters into the session total.
+
+        ``unique_paths`` and the coverage counters are deliberately
+        *not* summed — overlaps between shards make them set-sized
+        quantities, recomputed from the merged frontier.
+        """
+        total.executions += shard.executions
+        total.crashes.extend(shard.crashes)
+        total.divergences += shard.divergences
+        total.solver_queries += shard.solver_queries
+        total.solver_sat += shard.solver_sat
+        total.solver_cache_hits += shard.solver_cache_hits
+        total.solver_cache_misses += shard.solver_cache_misses
+        total.solver_cache_merged_hits += shard.solver_cache_merged_hits
+
+    def _solver_stats_snapshot(self) -> tuple[int, int, int, int, int]:
+        stats = self._solver.stats
+        return (stats.queries, stats.sat, stats.cache_hits,
+                stats.cache_misses, stats.cache_merged_hits)
+
+    def _record_solver_stats(
+        self, result: ExplorationResult, base: tuple[int, int, int, int, int]
+    ) -> None:
+        stats = self._solver.stats
+        result.solver_queries = stats.queries - base[0]
+        result.solver_sat = stats.sat - base[1]
+        result.solver_cache_hits = stats.cache_hits - base[2]
+        result.solver_cache_misses = stats.cache_misses - base[3]
+        result.solver_cache_merged_hits = stats.cache_merged_hits - base[4]
 
     def _expand(
         self,
         execution: Execution,
-        seen_flips: set[tuple],
-        seen_constraints: set[int],
-        result: ExplorationResult,
-    ) -> list[tuple[SymBytes, int, bool]]:
+        frontier: Frontier,
+        lineage: int,
+    ) -> list[FrontierEntry]:
         """Generate child inputs by negating each branch past the bound."""
-        children: list[tuple[SymBytes, int, bool]] = []
+        children: list[FrontierEntry] = []
         branches = execution.branches
         hint = {
             var.name: execution.input.concrete[offset]
@@ -213,17 +359,43 @@ class ConcolicEngine:
             if not any(True for _ in constraint.variables()):
                 continue
             flip_sig = pathmod.flip_signature(branches, index)
-            if flip_sig in seen_flips:
+            if flip_sig in frontier.seen_flips:
                 continue
-            seen_flips.add(flip_sig)
+            frontier.seen_flips.add(flip_sig)
             query = pathmod.flip_at(branches, index)
             model = self._solver.solve(query, hint=hint)
             if model is None:
                 continue
             child_input = execution.input.with_values(model)
-            novel = hash(branches[index][0].negated()) not in seen_constraints
-            children.append((child_input, index + 1, novel))
+            novelty_key = branches[index][0].negated().fp
+            children.append(FrontierEntry(
+                input=child_input,
+                bound=index + 1,
+                novel=novelty_key not in frontier.seen_constraints,
+                lineage=lineage,
+                key=flip_sig,
+                novelty_key=novelty_key,
+            ))
         return children
+
+
+def explore(
+    program: Program,
+    seed_inputs: list[SymBytes],
+    spec: ExplorationSpec | None = None,
+    solver: Solver | None = None,
+) -> ExplorationResult:
+    """Run one exploration session — the single configured entry point.
+
+    ``spec`` carries every knob (discipline, budgets, stop conditions,
+    shard policy); ``solver`` is injected by callers that share a
+    solver cache or need a derived seed.
+    """
+    engine = ConcolicEngine(
+        program, solver=solver, spec=spec if spec is not None
+        else ExplorationSpec()
+    )
+    return engine.explore(seed_inputs)
 
 
 class RandomByteExplorer:
@@ -243,15 +415,18 @@ class RandomByteExplorer:
         self._rng = _random.Random(seed)
         self._max_executions = max_executions
         self._engine = ConcolicEngine(
-            program, max_executions=max_executions,
-            max_branches_per_run=max_branches_per_run,
+            program,
+            spec=ExplorationSpec(
+                max_executions=max_executions,
+                max_branches_per_run=max_branches_per_run,
+            ),
         )
 
     def explore(self, seed_inputs: list[SymBytes]) -> ExplorationResult:
         """Run the random-mutation loop from the given seeds."""
         started = time.perf_counter()
         result = ExplorationResult()
-        seen_paths: set[tuple] = set()
+        seen_paths: set[int] = set()
         seen_constraints: set[int] = set()
         seen_shapes: set[int] = set()
         current = list(seed_inputs)
@@ -261,7 +436,7 @@ class RandomByteExplorer:
             execution = self._engine.run_once(mutated)
             result.executions += 1
             for constraint, _ in execution.branches:
-                seen_constraints.add(hash(constraint))
+                seen_constraints.add(constraint.fp)
                 seen_shapes.add(shape_hash(constraint))
             sig = execution.signature
             if sig not in seen_paths:

@@ -326,29 +326,36 @@ def make_unop(op: str, operand: Expr) -> Expr:
 
 
 def shape_hash(node: "Expr | Constraint") -> int:
-    """A hash that ignores variable identity.
+    """A process-stable 64-bit hash that ignores variable identity.
 
     Two constraints recorded at the same program branch on different
     input offsets (e.g. the per-NLRI ``length <= 32`` check) differ in
     variable names but share their *shape*; counting distinct shapes
     approximates code-site branch coverage, which is comparable across
     exploration strategies that mark different offsets.
+
+    Built on the same salted-hash-free mixer as ``fp`` so shape sets can
+    be shipped between processes (frontier shards merge their dedup
+    state in the orchestrator, which generally runs with a different
+    ``PYTHONHASHSEED`` than the workers).
     """
     if isinstance(node, Constraint):
-        return hash(("shape-cmp", node.op, shape_hash(node.left),
-                     shape_hash(node.right)))
+        return _fp_mix(_fp_name("shape-cmp:" + node.op),
+                       shape_hash(node.left), shape_hash(node.right))
     if isinstance(node, Var):
-        return hash("shape-var")
+        return _fp_name("shape-var")
     if isinstance(node, Const):
-        return hash(("shape-const", node.value))
+        return _fp_mix(_fp_name("shape-const"), *_fp_int(node.value))
     if isinstance(node, UnOp):
-        return hash(("shape-un", node.op, shape_hash(node.operand)))
+        return _fp_mix(_fp_name("shape-un:" + node.op),
+                       shape_hash(node.operand))
     assert isinstance(node, BinOp)
     left = shape_hash(node.left)
     right = shape_hash(node.right)
     if node.op in _COMMUTATIVE:
-        return hash(("shape-bin", node.op, left ^ right))
-    return hash(("shape-bin", node.op, left, right))
+        # XOR keeps commutative operands order-insensitive, as before.
+        return _fp_mix(_fp_name("shape-bin:" + node.op), left ^ right)
+    return _fp_mix(_fp_name("shape-bin:" + node.op), left, right)
 
 
 class Constraint:

@@ -1,10 +1,22 @@
-"""Path-condition helpers shared by the engine and its tests."""
+"""Path-condition helpers shared by the engine and its tests.
+
+Path and flip identities are process-stable 64-bit digests built from
+the expression-layer fingerprints (``Constraint.fp``), *not* Python's
+salted ``hash()``: frontier shards ship their dedup state between
+processes, so two workers (and the orchestrator) must agree on every
+identity bit-for-bit.  Compactness matters too — a path can hold tens
+of thousands of branches, and a digest travels as one integer instead
+of one tuple element per branch.
+"""
 
 from __future__ import annotations
 
-from repro.concolic.expr import Constraint
+from repro.concolic.expr import Constraint, _fp_mix, _fp_name
 
 Branch = tuple[Constraint, bool]
+
+_SIG_EMPTY = _fp_name("path:empty")
+_SIG_STEP = _fp_name("path:step")
 
 
 def held_constraint(branch: Branch) -> Constraint:
@@ -28,15 +40,20 @@ def flip_at(branches: list[Branch], index: int) -> list[Constraint]:
     return prefix
 
 
-def signature(branches: list[Branch]) -> tuple[tuple[int, bool], ...]:
-    """Hashable identity of a path."""
-    return tuple((hash(constraint), taken) for constraint, taken in branches)
+def signature(branches: list[Branch]) -> int:
+    """Process-stable 64-bit identity of a path."""
+    acc = _SIG_EMPTY
+    for constraint, taken in branches:
+        acc = _fp_mix(_SIG_STEP, acc, constraint.fp, int(taken))
+    return acc
 
 
-def flip_signature(branches: list[Branch], index: int) -> tuple:
-    """Identity of a *flip attempt*, for deduplication across executions."""
-    prefix = tuple(
-        (hash(constraint), taken) for constraint, taken in branches[:index]
-    )
+def flip_signature(branches: list[Branch], index: int) -> int:
+    """Identity of a *flip attempt*, for deduplication across executions.
+
+    The digest of "the path prefix up to ``index`` with branch ``index``
+    inverted" — exactly the child the generational search would queue.
+    """
     constraint, taken = branches[index]
-    return prefix + ((hash(constraint), not taken),)
+    acc = signature(branches[:index])
+    return _fp_mix(_SIG_STEP, acc, constraint.fp, int(not taken))

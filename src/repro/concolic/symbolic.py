@@ -63,11 +63,11 @@ class PathRecorder:
             return
         self.branches.append((constraint, taken))
 
-    def path_signature(self) -> tuple[tuple[int, bool], ...]:
-        """A hashable identity for the executed path."""
-        return tuple(
-            (hash(constraint), taken) for constraint, taken in self.branches
-        )
+    def path_signature(self) -> int:
+        """A process-stable identity for the executed path."""
+        from repro.concolic import path as pathmod
+
+        return pathmod.signature(self.branches)
 
     def __enter__(self) -> "PathRecorder":
         if _active_recorder() is not None:

@@ -29,7 +29,16 @@ from dataclasses import dataclass, field
 
 from repro.bgp.errors import BGPError
 from repro.bgp.messages import decode_message
-from repro.concolic.engine import ConcolicEngine, RandomByteExplorer
+from repro.concolic.engine import (
+    ConcolicEngine,
+    ExplorationSpec,
+    RandomByteExplorer,
+)
+from repro.concolic.frontier import (
+    Frontier,
+    FrontierDiscipline,
+    resolve_discipline,
+)
 from repro.concolic.grammar import UpdateGrammar
 from repro.concolic.solver import Solver, SolverCache
 from repro.concolic.symbolic import SymBytes, SymInt
@@ -58,10 +67,20 @@ class ExplorationConfig:
     seed: int = 0
     peer: str | None = None
     max_branches_per_run: int = 20_000
+    frontier: FrontierDiscipline | str = FrontierDiscipline.BFS
 
     def __post_init__(self):
         if self.strategy not in ALL_STRATEGIES:
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        self.frontier = resolve_discipline(self.frontier)
+
+    def exploration_spec(self) -> ExplorationSpec:
+        """The engine spec this session configuration asks for."""
+        return ExplorationSpec(
+            frontier=self.frontier,
+            max_executions=self.inputs,
+            max_branches_per_run=self.max_branches_per_run,
+        )
 
 
 @dataclass
@@ -208,8 +227,7 @@ class Explorer:
                 program,
                 solver=Solver(seed=derive_seed(config.seed, "solver"),
                               cache=self.solver_cache),
-                max_executions=config.inputs,
-                max_branches_per_run=config.max_branches_per_run,
+                spec=config.exploration_spec(),
             )
             result = engine.explore(seeds)
         elif config.strategy == STRATEGY_RANDOM:
@@ -222,9 +240,7 @@ class Explorer:
             result = explorer.explore(seeds)
         else:  # grammar-only: fresh valid messages, no feedback
             engine = ConcolicEngine(
-                program,
-                max_executions=config.inputs,
-                max_branches_per_run=config.max_branches_per_run,
+                program, spec=config.exploration_spec()
             )
             result = self._grammar_only(engine, grammar, config.inputs)
         report.executions = result.executions
@@ -240,6 +256,92 @@ class Explorer:
         report.solver_cache_merged_hits = result.solver_cache_merged_hits
         report.wall_time_s = time.perf_counter() - started
         return report
+
+    def explore_shard(
+        self,
+        config: ExplorationConfig,
+        *,
+        shard: int,
+        shard_count: int,
+        budget: int,
+        round_index: int = 0,
+        frontier: Frontier | None = None,
+        include_null_probe: bool = False,
+    ) -> tuple[NodeExplorationReport, Frontier]:
+        """Run one shard of a sharded concolic session.
+
+        Hermetic by construction: everything the shard does is a
+        function of its arguments plus this explorer's snapshot/suite/
+        claims — a private clone counter, a solver seeded from
+        ``(config.seed, round, shard)``, and (in round 0) the full
+        grammar seed list re-derived identically on every shard before
+        each keeps its lineage partition.  Placement therefore cannot
+        change the outcome, and a killed shard re-runs anywhere.
+
+        Returns the shard's report plus the post-run frontier (consumed
+        entries gone, solved children and dedup digests added) for the
+        orchestrator's deterministic merge.
+        """
+        started = time.perf_counter()
+        report = NodeExplorationReport(
+            node=config.node,
+            strategy=config.strategy,
+            snapshot_id=self._snapshot.snapshot_id,
+        )
+        peer = self._pick_peer(config)
+        if peer is None:
+            report.skipped_reason = (
+                f"{config.node} has no established session in the snapshot"
+            )
+            report.wall_time_s = time.perf_counter() - started
+            return report, Frontier(discipline=FrontierDiscipline.SHARDED)
+        if include_null_probe:
+            self._null_probe(config, report)
+        program = self._make_program(config, peer, report)
+        if frontier is None:
+            # Round 0: every shard derives the identical seed list (the
+            # grammar RNG depends only on the session seed), then keeps
+            # its own lineage partition.
+            rng = random.Random(
+                derive_seed(config.seed, f"grammar/{config.node}")
+            )
+            grammar = self._grammar_for_node(config, rng)
+            seeds = [
+                generated.symbolic(prefix="u")
+                for generated in grammar.generate_many(
+                    max(1, config.grammar_seeds)
+                )
+            ]
+            root = Frontier.from_seeds(seeds, FrontierDiscipline.SHARDED)
+            frontier = root.partition(shard_count)[shard]
+        engine = ConcolicEngine(
+            program,
+            solver=Solver(
+                seed=derive_seed(
+                    config.seed, f"solver/r{round_index}/s{shard}"
+                ),
+                cache=self.solver_cache,
+            ),
+            spec=ExplorationSpec(
+                frontier=FrontierDiscipline.SHARDED,
+                max_executions=max(1, budget),
+                max_branches_per_run=config.max_branches_per_run,
+            ),
+        )
+        result = engine.run_shard(frontier, budget)
+        report.executions = result.executions
+        report.unique_paths = result.unique_paths
+        report.branch_coverage = result.branch_coverage
+        report.shape_coverage = result.shape_coverage
+        report.crashes = len(result.crashes)
+        report.clones_created = self._clone_counter
+        report.solver_queries = result.solver_queries
+        report.solver_sat = result.solver_sat
+        report.solver_cache_hits = result.solver_cache_hits
+        report.solver_cache_misses = result.solver_cache_misses
+        report.solver_cache_merged_hits = result.solver_cache_merged_hits
+        report.wall_time_s = time.perf_counter() - started
+        return report, frontier
 
     def vet_change(
         self,
@@ -311,7 +413,7 @@ class Explorer:
             execution = engine.run_once(generated.symbolic(prefix="u"))
             result.executions += 1
             for constraint, _ in execution.branches:
-                seen_constraints.add(hash(constraint))
+                seen_constraints.add(constraint.fp)
                 seen_shapes.add(shape_hash(constraint))
             signature = execution.signature
             if signature not in seen_paths:
@@ -439,7 +541,7 @@ class Explorer:
             program,
             solver=Solver(seed=derive_seed(seed, "selection-solver"),
                           cache=self.solver_cache),
-            max_executions=max_executions,
+            spec=ExplorationSpec(max_executions=max_executions),
         )
         result = engine.explore([seed_input])
         report.executions = result.executions

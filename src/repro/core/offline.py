@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.bgp.errors import BGPError
 from repro.bgp.messages import decode_message
-from repro.concolic.engine import ConcolicEngine
+from repro.concolic.engine import ExplorationSpec, explore
 from repro.concolic.grammar import UpdateGrammar
 from repro.concolic.solver import Solver
 from repro.concolic.symbolic import SymBytes
@@ -154,18 +154,20 @@ class OfflineParserTester:
             self._classify(report, sym.concrete, None, via="concolic")
             return VERDICT_OK
 
-        engine = ConcolicEngine(
-            program,
-            solver=Solver(seed=self._seed),
-            max_executions=budget,
-            max_branches_per_run=self._max_branches,
-        )
         grammar = UpdateGrammar(rng=random.Random(self._seed))
         seeds = [
             generated.symbolic(prefix="u")
             for generated in grammar.generate_many(grammar_seeds)
         ]
-        result = engine.explore(seeds)
+        result = explore(
+            program,
+            seeds,
+            spec=ExplorationSpec(
+                max_executions=budget,
+                max_branches_per_run=self._max_branches,
+            ),
+            solver=Solver(seed=self._seed),
+        )
         report.unique_paths += result.unique_paths
         report.branch_coverage = max(
             report.branch_coverage, result.branch_coverage

@@ -31,11 +31,19 @@ pipelining, or on the dispatch transport.
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.concolic.frontier import (
+    Frontier,
+    FrontierDiscipline,
+    plan_round,
+    resolve_discipline,
+)
 from repro.core.explorer import (
     ExplorationConfig,
     Explorer,
@@ -46,6 +54,7 @@ from repro.core.faultclass import FaultReport, first_per_class
 from repro.core.live import LiveSystem, bgp_process_factory
 from repro.core.parallel import (
     ExplorationTask,
+    FrontierShardTask,
     ParallelCampaignEngine,
     SolverCacheCoordinator,
     claims_to_spec,
@@ -120,6 +129,18 @@ class OrchestratorConfig:
     # WorkerTransport the campaign engine should dispatch on, taking
     # precedence over `transport`/`remote_workers`.
     transport_factory: Callable | None = None
+    # Branch-frontier discipline for concolic exploration: "bfs" (the
+    # SAGE-style generational default), "dfs", "coverage", or
+    # "sharded" (partition each session's frontier into shard tasks
+    # with work stealing at round barriers); --frontier on the CLI.
+    frontier: str = "bfs"
+    # Maximum shard tasks per session round when the frontier is
+    # sharded; > 1 implies frontier="sharded".  The shard decomposition
+    # is part of the campaign *configuration* — results at a given
+    # shard count are identical at any worker count, so workers=1 with
+    # the same shard count is the serial reference for sharded runs.
+    # --frontier-shards on the CLI.
+    frontier_shards: int = 1
     # Price the pre-delta protocol alongside the real transport (the
     # cache_bytes_full_* counters): pickles each node's full cache per
     # dispatch — bounded by solver_cache_size, ~2 ms per warm default
@@ -324,6 +345,13 @@ class DiceOrchestrator:
     def run_campaign(self, config: OrchestratorConfig) -> CampaignResult:
         """Run the configured number of cycles; see module docstring."""
         workers = self._campaign_workers(config)
+        discipline, shards = self._frontier_mode(config)
+        if discipline is FrontierDiscipline.SHARDED:
+            # Sharded sessions always go through the task engine — at
+            # workers=1 the inline transport runs the identical shard
+            # decomposition in-process, which *is* the serial reference
+            # for sharded campaigns.
+            return self._run_campaign_sharded(config, workers, shards)
         if (workers > 1 or config.transport != "local"
                 or config.transport_factory is not None):
             return self._run_campaign_parallel(config, workers)
@@ -366,6 +394,18 @@ class DiceOrchestrator:
         return result
 
     # -- shared campaign plumbing --
+
+    @staticmethod
+    def _frontier_mode(
+        config: OrchestratorConfig,
+    ) -> tuple[FrontierDiscipline, int]:
+        """Resolve the frontier knobs; ``frontier_shards > 1`` implies
+        the sharded discipline."""
+        shards = max(1, config.frontier_shards)
+        discipline = resolve_discipline(config.frontier)
+        if shards > 1:
+            discipline = FrontierDiscipline.SHARDED
+        return discipline, shards
 
     @staticmethod
     def _campaign_workers(config: OrchestratorConfig) -> int:
@@ -589,6 +629,7 @@ class DiceOrchestrator:
                 horizon=config.horizon,
                 grammar_seeds=config.grammar_seeds,
                 seed=derive_seed(config.seed, f"cycle{cycle}/{node}"),
+                frontier=config.frontier,
             )
         )
         coordinator.record_local(node)
@@ -763,6 +804,7 @@ class DiceOrchestrator:
             strategy=config.strategy,
             horizon=config.horizon,
             grammar_seeds=config.grammar_seeds,
+            frontier=config.frontier,
             detected_at=detected_at,
             process_factory=self._factory,
             cache_sync=sync,
@@ -884,3 +926,330 @@ class DiceOrchestrator:
         self._finalize_cache_stats(result, coordinator)
         result.wall_time_s = time.perf_counter() - started
         return result
+
+    # -- sharded-frontier path --
+
+    def _run_campaign_sharded(
+        self, config: OrchestratorConfig, workers: int, shards: int
+    ) -> CampaignResult:
+        """Campaign where each session fans out as frontier shard rounds.
+
+        Every (cycle, node) session becomes a sequence of *rounds*: the
+        frontier is partitioned into up to ``shards`` hermetic
+        :class:`FrontierShardTask`s, their outcomes are absorbed in
+        (round, shard) order, the leftover frontiers merge
+        deterministically, and the merged queue plus unspent budget are
+        re-dealt over fresh shards — work stealing at round barriers,
+        with the steal a pure function of outcome content, never of
+        wall-clock.  The shard decomposition is part of the
+        configuration: at a fixed shard count, fault reports, counters
+        and cache fingerprints are identical at any worker count and
+        over any transport (``workers=1`` runs the same decomposition
+        inline and is the serial reference).
+
+        Sessions launch their round 0 in node order as captures arrive,
+        then complete strictly in node order, so one hot node's later
+        rounds overlap other nodes' work.  Shards run *cold* private
+        solver caches (hermeticity over warmth — see
+        docs/architecture.md); their deltas still merge into the
+        orchestrator's per-node mirrors, so cross-cycle fingerprint
+        evolution matches the configured sharing policy.
+        """
+        if config.strategy != STRATEGY_CONCOLIC:
+            raise ValueError(
+                "frontier sharding applies to the concolic strategy "
+                f"only; got strategy={config.strategy!r}"
+            )
+        started = time.perf_counter()
+        result = CampaignResult(
+            workers=workers,
+            transport=config.transport,
+            pipelined=config.pipeline,
+        )
+        nodes = self._campaign_nodes(config)
+        claims_spec = claims_to_spec(self._claims)
+        coordinator = self._cache_coordinator(config, nodes)
+        counter = itertools.count()
+        done = False
+        with ExitStack() as stack:
+            engine = stack.enter_context(
+                self._build_engine(config, workers)
+            )
+            result.workers = engine.workers
+            pipeline = None
+            if config.pipeline:
+                requests = plan_captures(nodes, config.cycles)
+
+                def capture_one(request):
+                    snapshot = self._capture(
+                        request.node, config.snapshot_mode
+                    )
+                    detected_at = self._live.network.sim.now
+                    self._advance_live(config)
+                    return snapshot, detected_at
+
+                pipeline = stack.enter_context(
+                    SnapshotPipeline(capture_one, requests,
+                                     depth=len(nodes),
+                                     prepare_fn=pickle.dumps)
+                )
+            for cycle in range(config.cycles):
+                sessions = []
+                for node in nodes:
+                    if pipeline is not None:
+                        workers_busy = any(
+                            not handle.done()
+                            for session in sessions
+                            for handle in session.handles
+                        )
+                        waited = time.perf_counter()
+                        captured = pipeline.next_capture()
+                        if not workers_busy:
+                            result.capture_blocked_s += (
+                                time.perf_counter() - waited
+                            )
+                        result.capture_wall_s += captured.capture_wall_s
+                        result.capture_pickle_s += captured.prepare_wall_s
+                        snapshot = captured.snapshot
+                        detected_at = captured.detected_at
+                        blob = captured.payload
+                    else:
+                        capture_started = time.perf_counter()
+                        snapshot = self._capture(node, config.snapshot_mode)
+                        detected_at = self._live.network.sim.now
+                        self._advance_live(config)
+                        elapsed = time.perf_counter() - capture_started
+                        result.capture_wall_s += elapsed
+                        result.capture_blocked_s += elapsed
+                        blob = None
+                    sessions.append(
+                        self._start_sharded_session(
+                            config, engine, coordinator, claims_spec,
+                            shards, counter, cycle, node, snapshot,
+                            detected_at, snapshot_blob=blob,
+                        )
+                    )
+                for session in sessions:
+                    report = self._finish_sharded_session(
+                        session, config, engine, coordinator,
+                        claims_spec, shards, counter,
+                    )
+                    result.snapshots_taken += 1
+                    self._merge_node_report(
+                        result, report,
+                        snapshot_id=session.snapshot_id,
+                        detected_at=session.detected_at,
+                        started=started,
+                    )
+                    if config.stop_after_first_fault and result.reports:
+                        done = True
+                        break
+                if done:
+                    break
+                coordinator.end_cycle()
+                result.cycles_completed = cycle + 1
+            self._record_wire_stats(result, engine)
+        self._finalize_cache_stats(result, coordinator)
+        result.wall_time_s = time.perf_counter() - started
+        return result
+
+    def _start_sharded_session(
+        self,
+        config: OrchestratorConfig,
+        engine: ParallelCampaignEngine,
+        coordinator: SolverCacheCoordinator,
+        claims_spec,
+        shards: int,
+        counter,
+        cycle: int,
+        node: str,
+        snapshot,
+        detected_at: float,
+        snapshot_blob: bytes | None = None,
+    ) -> "_ShardedSession":
+        """Open one session and submit its round-0 shard tasks.
+
+        Round 0 partitions by seed lineage, so its shard count is
+        bounded by the grammar-seed count (every planned shard must
+        start with at least one entry).
+        """
+        session = _ShardedSession(
+            cycle=cycle,
+            node=node,
+            snapshot=snapshot,
+            snapshot_blob=snapshot_blob,
+            # Pipelined captures ship a pre-pickled payload and no
+            # snapshot object; the id then comes back on the first
+            # shard outcome (workers resolve the payload anyway).
+            snapshot_id=(
+                snapshot.snapshot_id if snapshot is not None else ""
+            ),
+            detected_at=detected_at,
+            seed=derive_seed(config.seed, f"cycle{cycle}/{node}"),
+            budget_left=config.inputs_per_node,
+        )
+        plan = plan_round(
+            max(1, config.grammar_seeds), session.budget_left, shards
+        )
+        if plan is not None:
+            self._submit_shard_round(
+                session, config, engine, coordinator, claims_spec,
+                plan, None, counter,
+            )
+        return session
+
+    def _submit_shard_round(
+        self,
+        session: "_ShardedSession",
+        config: OrchestratorConfig,
+        engine: ParallelCampaignEngine,
+        coordinator: SolverCacheCoordinator,
+        claims_spec,
+        plan,
+        frontiers: list[Frontier] | None,
+        counter,
+    ) -> None:
+        """Submit one round's shard tasks in shard order.
+
+        ``frontiers is None`` marks round 0 (workers re-derive the seed
+        list and keep their lineage partition); later rounds ship each
+        shard its slice of the merged frontier.  The null probe rides
+        on round 0's shard 0, exactly once per session.
+        """
+        session.handles = [
+            engine.submit(
+                FrontierShardTask(
+                    index=next(counter),
+                    cycle=session.cycle,
+                    node=session.node,
+                    round=session.round,
+                    shard=shard,
+                    shard_count=plan.count,
+                    budget=plan.budgets[shard],
+                    snapshot=(
+                        None if session.snapshot_blob is not None
+                        else session.snapshot
+                    ),
+                    suite=self._suite,
+                    claims=claims_spec,
+                    seed=session.seed,
+                    inputs=config.inputs_per_node,
+                    horizon=config.horizon,
+                    grammar_seeds=config.grammar_seeds,
+                    detected_at=session.detected_at,
+                    process_factory=self._factory,
+                    frontier=(
+                        None if frontiers is None else frontiers[shard]
+                    ),
+                    include_null_probe=(
+                        session.round == 0 and shard == 0
+                    ),
+                    cache_max_entries=config.solver_cache_size,
+                    token=coordinator.token,
+                    snapshot_blob=session.snapshot_blob,
+                )
+            )
+            for shard in range(plan.count)
+        ]
+
+    def _finish_sharded_session(
+        self,
+        session: "_ShardedSession",
+        config: OrchestratorConfig,
+        engine: ParallelCampaignEngine,
+        coordinator: SolverCacheCoordinator,
+        claims_spec,
+        shards: int,
+        counter,
+    ) -> NodeExplorationReport:
+        """Drive a session's remaining rounds to completion and merge.
+
+        Each iteration resolves the current round's handles in shard
+        order, absorbs the shard cache deltas in that same order, and
+        merges the leftover frontiers first-writer-wins.  The leftover
+        entries and the unspent budget are then re-dealt round-robin
+        over up to ``shards`` fresh tasks — the work-steal.  Every
+        planned shard has at least one entry and one execution, so the
+        budget strictly decreases and the loop terminates.
+        """
+        final = Frontier(discipline=FrontierDiscipline.SHARDED)
+        while session.handles:
+            outcomes = [handle.result() for handle in session.handles]
+            session.handles = []
+            if not session.snapshot_id and outcomes:
+                session.snapshot_id = outcomes[0].snapshot_id
+            for outcome in outcomes:
+                coordinator.absorb_shard(outcome.cache_delta)
+                session.reports.append(outcome.report)
+                session.budget_left -= outcome.report.executions
+            final = Frontier.merge(
+                [outcome.frontier for outcome in outcomes]
+            )
+            session.round += 1
+            plan = plan_round(
+                len(final.entries), session.budget_left, shards
+            )
+            if plan is None:
+                break
+            self._submit_shard_round(
+                session, config, engine, coordinator, claims_spec,
+                plan, final.split(plan.count), counter,
+            )
+        return self._merged_session_report(session, final)
+
+    @staticmethod
+    def _merged_session_report(
+        session: "_ShardedSession", final: Frontier
+    ) -> NodeExplorationReport:
+        """Fold shard reports, in (round, shard) order, into one.
+
+        Additive counters sum across shards; set-derived counters
+        (unique paths, branch/shape coverage) are recomputed from the
+        final merged frontier, exactly as the engine's inline sharded
+        mode recomputes them — summing per-shard values would double
+        count paths two shards both reached.
+        """
+        report = NodeExplorationReport(
+            node=session.node,
+            strategy=STRATEGY_CONCOLIC,
+            snapshot_id=session.snapshot_id,
+        )
+        if session.reports and session.reports[0].skipped_reason:
+            report.skipped_reason = session.reports[0].skipped_reason
+        for shard_report in session.reports:
+            report.executions += shard_report.executions
+            report.crashes += shard_report.crashes
+            report.clones_created += shard_report.clones_created
+            report.violations.extend(shard_report.violations)
+            report.wall_time_s += shard_report.wall_time_s
+            report.solver_queries += shard_report.solver_queries
+            report.solver_sat += shard_report.solver_sat
+            report.solver_cache_hits += shard_report.solver_cache_hits
+            report.solver_cache_misses += shard_report.solver_cache_misses
+            report.solver_cache_merged_hits += (
+                shard_report.solver_cache_merged_hits
+            )
+        report.unique_paths = len(final.seen_paths)
+        report.branch_coverage = len(final.seen_constraints)
+        report.shape_coverage = len(final.seen_shapes)
+        return report
+
+
+@dataclass
+class _ShardedSession:
+    """In-flight state of one (cycle, node) sharded session."""
+
+    cycle: int
+    node: str
+    snapshot_id: str
+    detected_at: float
+    seed: int
+    snapshot: object = None
+    snapshot_blob: bytes | None = None
+    budget_left: int = 0
+    round: int = 0
+    # Current round's task handles, submitted and resolved in shard
+    # order; empty once the session is exhausted.
+    handles: list = field(default_factory=list)
+    # Every shard report absorbed so far, in (round, shard) order.
+    reports: list[NodeExplorationReport] = field(default_factory=list)

@@ -10,8 +10,13 @@ module shards those sessions across worker processes:
   (or a pre-pickled snapshot payload), node, strategy, per-task derived
   seed, input batch, property suite, origination claims and a solver
   :class:`CacheSync`;
-* :func:`run_exploration_task` is the worker entry point (a module-level
-  function, so it survives both fork and spawn start methods);
+* a :class:`FrontierShardTask` is the finer-grained, intra-session unit:
+  one partition of one session's concolic frontier plus an execution
+  budget, hermetic (fresh explorer, fresh private solver cache) so it
+  can run — or rerun after a worker death — on *any* slot;
+* :func:`run_task` is the worker entry point (a module-level function,
+  so it survives both fork and spawn start methods), dispatching to
+  :func:`run_exploration_task` or :func:`run_frontier_shard`;
 * :class:`ParallelCampaignEngine` dispatches tasks with **sticky
   per-node routing** (every task for one node runs on the same worker
   slot) and returns :class:`TaskOutcome` objects **in task order**,
@@ -53,6 +58,7 @@ from dataclasses import dataclass, field, replace
 from typing import Protocol, Sequence
 
 from repro.bgp.ip import Prefix
+from repro.concolic.frontier import Frontier, FrontierDiscipline
 from repro.concolic.solver import (
     CacheDelta,
     CacheEvent,
@@ -327,7 +333,7 @@ class WorkerTransport(Protocol):
     slots: int
     supports_push: bool
 
-    def submit(self, slot: int, task: "ExplorationTask") -> "Future[TaskOutcome]":
+    def submit(self, slot: int, task: "CampaignTask") -> "Future[CampaignOutcome]":
         """Schedule one task on ``slot``; the future yields its outcome."""
         ...
 
@@ -571,6 +577,34 @@ class SolverCacheCoordinator:
             if self._push_channel is not None:
                 self._push_fresh(delta)
 
+    def absorb_shard(self, delta: CacheDelta | None) -> None:
+        """Fold one frontier shard's delta into the node's mirror.
+
+        Shards run hermetic *fresh* solver caches (their placement must
+        not matter), so their deltas all start from generation 0 and
+        cannot be replayed onto the warm mirror like whole-session
+        deltas; they are **merged** first-writer-wins in shard order
+        instead — the same discipline as the cross-node merge, applied
+        intra-session.  The history entry is a ``"g"`` record for the
+        same reason: a failover rebuild folds it with
+        :meth:`~repro.concolic.solver.SolverCache.merge_delta`, exactly
+        as the mirror did.
+        """
+        if delta is None or not delta.count:
+            return
+        self.bytes_shipped_in += len(pickle.dumps(delta))
+        cache = self._caches[delta.node]
+        cache.merge_delta(delta.events)
+        if self._record_history:
+            self._history[delta.node].append(("g", delta.packed_events))
+        if self._measure_baseline:
+            self.bytes_full_in += cache.full_pickle_size()
+        self._shipped_generation[delta.node] = cache.generation
+        if self._share:
+            self._cycle_deltas.append(delta)
+            if self._push_channel is not None:
+                self._push_fresh(delta)
+
     def record_local(self, node: str) -> None:
         """Serial-path equivalent of :meth:`absorb`: drain the journal.
 
@@ -651,6 +685,11 @@ class ExplorationTask:
     factory, and the solver-cache sync.
     """
 
+    # Sticky tasks route to their node's pinned worker slot (that slot
+    # holds the node's warm solver-cache replica); non-sticky tasks are
+    # free to run anywhere.  Class attribute, not a field.
+    sticky = True
+
     index: int  # position in the campaign's deterministic task order
     cycle: int
     node: str
@@ -663,6 +702,9 @@ class ExplorationTask:
     horizon: float = 5.0
     grammar_seeds: int = 3
     max_branches_per_run: int = 20_000
+    # Branch-frontier discipline the session's concolic engine uses
+    # (enum member or legacy string; resolved by ExplorationConfig).
+    frontier: FrontierDiscipline | str = FrontierDiscipline.BFS
     detected_at: float = 0.0  # live simulated time at capture
     process_factory: ProcessFactory = bgp_process_factory
     # Solver-cache sync for the worker-slot replica (see CacheSync).
@@ -693,6 +735,7 @@ class ExplorationTask:
             grammar_seeds=self.grammar_seeds,
             seed=self.seed,
             max_branches_per_run=self.max_branches_per_run,
+            frontier=self.frontier,
         )
 
 
@@ -749,6 +792,165 @@ def run_exploration_task(
         report=report,
         cache_delta=delta,
     )
+
+
+@dataclass(frozen=True)
+class FrontierShardTask:
+    """One shard of one session's concolic frontier, ready to ship.
+
+    The intra-session unit of work: where :class:`ExplorationTask`
+    ships a *whole* node-exploration session, a shard task ships one
+    partition of that session's unexplored-branch frontier plus an
+    execution budget.  Shards are **hermetic**: the worker builds a
+    fresh explorer and a fresh private solver cache, so the outcome is
+    a pure function of the task's content — placement cannot affect
+    it, and a shard killed mid-flight reruns bit-identically on any
+    surviving slot.  That is why ``sticky = False``: shard tasks have
+    no per-slot replica to stay close to and route to whichever live
+    slot has the least outstanding work.
+
+    ``frontier is None`` marks a round-0 task: the worker regenerates
+    the session's grammar seeds deterministically from ``seed`` and
+    takes partition ``shard`` of ``shard_count`` by seed lineage.
+    Later rounds carry their (picklable) :class:`Frontier` shard
+    explicitly — produced by the orchestrator's deterministic merge
+    and re-split at the previous round boundary.
+    """
+
+    sticky = False
+
+    index: int  # position in the campaign's deterministic task order
+    cycle: int
+    node: str
+    round: int  # epoch within the session (0 = from grammar seeds)
+    shard: int
+    shard_count: int
+    budget: int  # executions this shard may spend
+    snapshot: Snapshot | None
+    suite: PropertySuite
+    claims: ClaimSpec
+    seed: int  # already derived per (cycle, node) — shared by all shards
+    inputs: int = 30  # the whole session's budget (for config echo)
+    horizon: float = 5.0
+    grammar_seeds: int = 3
+    max_branches_per_run: int = 20_000
+    detected_at: float = 0.0
+    process_factory: ProcessFactory = bgp_process_factory
+    frontier: Frontier | None = field(default=None, repr=False)
+    include_null_probe: bool = False
+    cache_max_entries: int = 4096
+    # Coordinator token, echoed so transports that authenticate frames
+    # (remote daemons) accept shard tasks exactly like synced tasks.
+    token: str | None = None
+    snapshot_blob: bytes | None = field(default=None, repr=False)
+
+    def resolve_snapshot(self) -> Snapshot:
+        """The snapshot to explore, unpickling the payload if needed."""
+        if self.snapshot is not None:
+            return self.snapshot
+        if self.snapshot_blob is None:
+            raise ValueError(
+                "task carries neither a snapshot nor a snapshot_blob"
+            )
+        return pickle.loads(self.snapshot_blob)
+
+    def exploration_config(self) -> ExplorationConfig:
+        """The per-session config the explorer consumes."""
+        return ExplorationConfig(
+            node=self.node,
+            inputs=self.inputs,
+            strategy=STRATEGY_CONCOLIC,
+            horizon=self.horizon,
+            grammar_seeds=self.grammar_seeds,
+            seed=self.seed,
+            max_branches_per_run=self.max_branches_per_run,
+            frontier=FrontierDiscipline.SHARDED,
+        )
+
+
+@dataclass
+class ShardOutcome:
+    """What one frontier shard produced, tagged for ordered absorption.
+
+    The orchestrator absorbs shard outcomes in (round, shard) order —
+    never completion order — so the merged session report, the merged
+    frontier handed to the next round, and the solver-cache state are
+    identical at any worker count.
+    """
+
+    index: int
+    cycle: int
+    node: str
+    round: int
+    shard: int
+    snapshot_id: str
+    detected_at: float
+    report: NodeExplorationReport = field(repr=False)
+    # The shard's leftover frontier (un-popped entries + everything it
+    # learned), merged by the orchestrator at the round boundary.
+    frontier: Frontier = field(repr=False)
+    # The shard's private fresh-cache delta (base generation 0); folded
+    # into the node's mirror with merge_delta, never replayed.
+    cache_delta: CacheDelta | None = field(default=None, repr=False)
+
+
+def run_frontier_shard(task: FrontierShardTask) -> ShardOutcome:
+    """Worker entry point: run one frontier shard start to finish.
+
+    No replica store is consulted: the shard runs against a fresh
+    private :class:`SolverCache` whose delta ships back whole (its
+    base generation is 0 by construction).  Cold caches are the price
+    of hermeticity — the shard's speedup comes from parallelising the
+    *executions*, which dominate solver time on hot sessions.
+    """
+    snapshot = task.resolve_snapshot()
+    cache = SolverCache(max_entries=task.cache_max_entries)
+    explorer = Explorer(
+        snapshot,
+        task.suite,
+        claims_from_spec(task.claims),
+        process_factory=task.process_factory,
+        solver_cache=cache,
+    )
+    report, frontier = explorer.explore_shard(
+        task.exploration_config(),
+        shard=task.shard,
+        shard_count=task.shard_count,
+        budget=task.budget,
+        round_index=task.round,
+        frontier=task.frontier,
+        include_null_probe=task.include_null_probe,
+    )
+    return ShardOutcome(
+        index=task.index,
+        cycle=task.cycle,
+        node=task.node,
+        round=task.round,
+        shard=task.shard,
+        snapshot_id=snapshot.snapshot_id,
+        detected_at=task.detected_at,
+        report=report,
+        frontier=frontier,
+        cache_delta=cache.take_delta(task.node),
+    )
+
+
+CampaignTask = ExplorationTask | FrontierShardTask
+CampaignOutcome = TaskOutcome | ShardOutcome
+
+
+def run_task(
+    task: CampaignTask, replicas: ReplicaStore | None = None
+) -> CampaignOutcome:
+    """Worker entry point dispatching on task kind.
+
+    The single function every transport submits (module-level, so it
+    survives fork and spawn): whole-session tasks go through the
+    replica-store path, frontier shards run hermetically.
+    """
+    if isinstance(task, FrontierShardTask):
+        return run_frontier_shard(task)
+    return run_exploration_task(task, replicas=replicas)
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -844,10 +1046,10 @@ class InlineTransport:
     slots = 1
     supports_push = False
 
-    def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
-        future: Future[TaskOutcome] = Future()
+    def submit(self, slot: int, task: CampaignTask) -> "Future[CampaignOutcome]":
+        future: Future[CampaignOutcome] = Future()
         try:
-            future.set_result(run_exploration_task(task))
+            future.set_result(run_task(task))
         except Exception as error:
             future.set_exception(error)
         return future
@@ -875,9 +1077,9 @@ class LocalPoolTransport:
         self._pools: list[ProcessPoolExecutor | None] = [None] * self.slots
         self._dead: set[int] = set()
 
-    def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+    def submit(self, slot: int, task: CampaignTask) -> "Future[CampaignOutcome]":
         if slot in self._dead:
-            future: Future[TaskOutcome] = Future()
+            future: Future[CampaignOutcome] = Future()
             future.set_exception(
                 WorkerLostError(f"local pool slot {slot} is dead")
             )
@@ -886,7 +1088,7 @@ class LocalPoolTransport:
         if pool is None:
             pool = ProcessPoolExecutor(max_workers=1)
             self._pools[slot] = pool
-        return pool.submit(run_exploration_task, task)
+        return pool.submit(run_task, task)
 
     def slot_label(self, slot: int) -> str:
         return f"local pool slot {slot}"
@@ -919,8 +1121,8 @@ class TaskHandle:
     """
 
     def __init__(self, engine: "ParallelCampaignEngine",
-                 task: ExplorationTask, slot: int,
-                 future: "Future[TaskOutcome]"):
+                 task: CampaignTask, slot: int,
+                 future: "Future[CampaignOutcome]"):
         self._engine = engine
         self.task = task
         self.slot = slot
@@ -929,7 +1131,7 @@ class TaskHandle:
     def done(self) -> bool:
         return self.future.done()
 
-    def result(self) -> TaskOutcome:
+    def result(self) -> CampaignOutcome:
         """The task's outcome, retrying across worker deaths."""
         return self._engine._resolve(self)
 
@@ -956,6 +1158,9 @@ class ParallelCampaignEngine:
     slots, which is deterministic because submission order is): the
     slot that explored a node holds that node's solver-cache replica,
     so the next cycle's task needs only a delta, not the warm cache.
+    Frontier shard tasks opt out (``sticky = False``) and route to the
+    least-loaded surviving slot instead — hermetic work has no replica
+    to stay close to, and idle slots should soak it up.
 
     Failover preserves that contract: when a slot dies (transport-fatal
     error, see :func:`is_transport_fatal`), the engine marks it dead,
@@ -993,6 +1198,10 @@ class ParallelCampaignEngine:
         )
         self._slot_of: dict[str, int] = {}
         self._assigned = 0  # nodes routed so far (round-robin cursor)
+        # Tasks in flight per slot; feeds the least-loaded routing of
+        # non-sticky (frontier shard) tasks.  Updated only on the
+        # single submitting/resolving thread, so it is deterministic.
+        self._outstanding: dict[int, int] = {}
         self._dead_slots: set[int] = set()
         # Nodes whose replica died with a slot and whose *next* task
         # must carry a recovery sync (requeued tasks rebuild directly).
@@ -1086,7 +1295,28 @@ class ParallelCampaignEngine:
                    + "; ".join(str(f) for f in self.failures),
         )
 
-    def submit(self, task: ExplorationTask) -> TaskHandle:
+    def shard_slot(self) -> int:
+        """The worker slot for one non-sticky (frontier shard) task.
+
+        Least outstanding work wins, lowest slot index breaks ties.
+        Deterministic because the in-flight counters are maintained
+        solely by the single submitting/resolving thread — routing is a
+        pure function of the submit/resolve sequence, never of worker
+        completion times.  Idle sticky slots naturally soak up shards,
+        which is exactly the skew case sharding exists for.
+        """
+        live = [
+            candidate for candidate in range(self.workers)
+            if candidate not in self._dead_slots
+        ]
+        if not live:
+            raise self._no_survivors_error()
+        return min(
+            live,
+            key=lambda slot: (self._outstanding.get(slot, 0), slot),
+        )
+
+    def submit(self, task: CampaignTask) -> TaskHandle:
         """Schedule one task; returns a handle resolving to its outcome.
 
         The incremental interface the pipelined orchestrator uses: it
@@ -1094,11 +1324,19 @@ class ParallelCampaignEngine:
         capture pipeline and resolves the handles strictly in task
         order, so the merge is identical to :meth:`run`'s sorted batch.
         On the inline transport the task runs immediately.
+
+        Sticky tasks (whole sessions) go to their node's pinned slot;
+        non-sticky frontier shards go wherever :meth:`shard_slot`
+        points.
         """
-        slot = self.slot_for(task.node)
+        if getattr(task, "sticky", True):
+            slot = self.slot_for(task.node)
+        else:
+            slot = self.shard_slot()
+        self._outstanding[slot] = self._outstanding.get(slot, 0) + 1
         return TaskHandle(self, task, slot, self._dispatch(slot, task))
 
-    def _dispatch(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+    def _dispatch(self, slot: int, task: CampaignTask) -> "Future[CampaignOutcome]":
         """Submit to the transport; dispatch-time errors become the
         future's exception so failover handles them at resolve time.
         Control-flow exceptions (Ctrl-C on the inline path) propagate.
@@ -1106,7 +1344,7 @@ class ParallelCampaignEngine:
         try:
             return self._transport.submit(slot, task)
         except Exception as error:
-            future: Future[TaskOutcome] = Future()
+            future: Future[CampaignOutcome] = Future()
             future.set_exception(error)
             return future
 
@@ -1139,46 +1377,61 @@ class ParallelCampaignEngine:
                 self.failures, self.max_worker_failures
             ) from error
 
-    def _resolve(self, handle: TaskHandle) -> TaskOutcome:
+    def _release_slot(self, slot: int) -> None:
+        count = self._outstanding.get(slot, 0)
+        if count > 0:
+            self._outstanding[slot] = count - 1
+
+    def _resolve(self, handle: TaskHandle) -> CampaignOutcome:
         """Resolve one handle, failing over across worker deaths.
 
         Runs on the caller's (merge) thread: recovery syncs are built
         from the coordinator at requeue time, when every earlier task's
         outcome has already been absorbed — so the rebuilt replica is
-        exactly the state the dead slot would have held.  Each loop
+        exactly the state the dead slot would have held.  Frontier
+        shards need none of that: hermetic by construction, they simply
+        re-dispatch to the least-loaded surviving slot.  Each loop
         iteration either returns, retires a previously-live slot, or
         raises; slots are finite, so resolution terminates.
         """
         while True:
             try:
-                return handle.future.result()
+                outcome = handle.future.result()
             except Exception as error:
+                self._release_slot(handle.slot)
                 if not is_transport_fatal(error):
                     raise
                 self._fail_slot(handle.slot, error)
                 task = handle.task
-                slot = self.slot_for(task.node)
-                if task.cache_sync is not None:
-                    if self._coordinator is None:
-                        raise WorkerFailoverError(
-                            self.failures, self.max_worker_failures,
-                            reason=f"cannot requeue {task.node!r}: no "
-                                   "cache coordinator attached for "
-                                   "replica recovery",
-                        ) from error
-                    self._needs_rebuild.discard(task.node)
-                    task = replace(
-                        task,
-                        cache_sync=self._coordinator.recovery_sync_for(
-                            task.node, slot=slot
-                        ),
-                    )
+                if getattr(task, "sticky", True):
+                    slot = self.slot_for(task.node)
+                    if task.cache_sync is not None:
+                        if self._coordinator is None:
+                            raise WorkerFailoverError(
+                                self.failures, self.max_worker_failures,
+                                reason=f"cannot requeue {task.node!r}: no "
+                                       "cache coordinator attached for "
+                                       "replica recovery",
+                            ) from error
+                        self._needs_rebuild.discard(task.node)
+                        task = replace(
+                            task,
+                            cache_sync=self._coordinator.recovery_sync_for(
+                                task.node, slot=slot
+                            ),
+                        )
+                else:
+                    slot = self.shard_slot()
                 self.tasks_requeued += 1
+                self._outstanding[slot] = self._outstanding.get(slot, 0) + 1
                 handle.task = task
                 handle.slot = slot
                 handle.future = self._dispatch(slot, task)
+            else:
+                self._release_slot(handle.slot)
+                return outcome
 
-    def run(self, tasks: Sequence[ExplorationTask]) -> list[TaskOutcome]:
+    def run(self, tasks: Sequence[CampaignTask]) -> list[CampaignOutcome]:
         """Execute a batch; outcomes come back sorted by task index."""
         ordered = sorted(tasks, key=lambda task: task.index)
         handles = [self.submit(task) for task in ordered]

@@ -1,8 +1,9 @@
 """Remote worker transport: exploration tasks over a wire.
 
 The campaign loop scales past one machine by dispatching the already
-picklable :class:`~repro.core.parallel.ExplorationTask`s to long-lived
-worker daemons instead of local pool processes.  This module supplies
+picklable :class:`~repro.core.parallel.ExplorationTask`s (and the
+intra-session :class:`~repro.core.parallel.FrontierShardTask`s) to
+long-lived worker daemons instead of local pool processes.  This module supplies
 everything between :class:`~repro.core.parallel.ParallelCampaignEngine`
 and those daemons:
 
@@ -66,11 +67,11 @@ from collections import deque
 from concurrent.futures import Future
 
 from repro.core.parallel import (
-    ExplorationTask,
+    CampaignOutcome,
+    CampaignTask,
     ReplicaStore,
-    TaskOutcome,
     WorkerLostError,
-    run_exploration_task,
+    run_task,
 )
 
 # Payload length, then CRC-32 of the payload: pickle itself has no
@@ -206,7 +207,11 @@ def _message_token(message: tuple) -> str | None:
     kind = message[0]
     if kind == "task":
         sync = getattr(message[2], "cache_sync", None)
-        return sync.token if sync is not None else None
+        if sync is not None:
+            return sync.token
+        # Frontier shard tasks carry no sync but echo the campaign
+        # token directly, so a daemon scopes them like synced tasks.
+        return getattr(message[2], "token", None)
     if kind in ("chunk", "commit"):
         return message[1]
     return None
@@ -275,8 +280,7 @@ class RemoteWorkerState:
             if kind == "task":
                 _, request_id, task = message
                 try:
-                    outcome = run_exploration_task(task,
-                                                   replicas=self.replicas)
+                    outcome = run_task(task, replicas=self.replicas)
                 except Exception as error:
                     return ("error", request_id,
                             f"{type(error).__name__}: {error}",
@@ -473,10 +477,10 @@ class LoopbackTransport:
         self.bytes_received += len(frame)
         return decode_frame(frame)
 
-    def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+    def submit(self, slot: int, task: CampaignTask) -> "Future[CampaignOutcome]":
         if self._closed:
             raise RuntimeError("loopback transport is closed")
-        future: Future[TaskOutcome] = Future()
+        future: Future[CampaignOutcome] = Future()
         if slot in self._dead:
             future.set_exception(
                 WorkerDiedError(
@@ -604,8 +608,8 @@ class _Connection:
             self.bytes_sent += len(frame)
         return len(frame)
 
-    def submit(self, task: ExplorationTask) -> "Future[TaskOutcome]":
-        future: Future[TaskOutcome] = Future()
+    def submit(self, task: CampaignTask) -> "Future[CampaignOutcome]":
+        future: Future[CampaignOutcome] = Future()
         request_id = next(self._request_ids)
         with self._pending_lock:
             self._pending.append((request_id, future))
@@ -795,7 +799,7 @@ class SocketTransport:
             ConnectionError("worker slot retired after failure")
         )
 
-    def submit(self, slot: int, task: ExplorationTask) -> "Future[TaskOutcome]":
+    def submit(self, slot: int, task: CampaignTask) -> "Future[CampaignOutcome]":
         return self._connections[slot].submit(task)
 
     def push_chunk(self, token: str, epoch: int, seq: int,

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.concolic.engine import ConcolicEngine, RandomByteExplorer
+from repro.concolic.engine import (
+    ConcolicEngine,
+    ExplorationSpec,
+    RandomByteExplorer,
+    explore,
+)
+from repro.concolic.frontier import Frontier, FrontierDiscipline
 from repro.concolic.path import flip_at, flip_signature, held_path, signature
 from repro.concolic.solver import Solver
 from repro.concolic.symbolic import SymBytes
@@ -163,3 +169,117 @@ class TestRandomBaseline:
                                       max_executions=5)
         result = explorer.explore([SymBytes(b"\x00\x00", {})])
         assert result.executions == 5
+
+
+class TestExplorationSpec:
+    def test_defaults(self):
+        spec = ExplorationSpec()
+        assert spec.frontier is FrontierDiscipline.BFS
+        assert spec.shards == 1
+
+    def test_string_disciplines_resolve_to_the_enum(self):
+        assert (ExplorationSpec(frontier="dfs").frontier
+                is FrontierDiscipline.DFS)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError, match="max_executions"):
+            ExplorationSpec(max_executions=0)
+        with pytest.raises(ValueError, match="max_branches_per_run"):
+            ExplorationSpec(max_branches_per_run=0)
+        with pytest.raises(ValueError, match="shards"):
+            ExplorationSpec(shards=0)
+
+    def test_shards_require_the_sharded_discipline(self):
+        with pytest.raises(ValueError, match="sharded"):
+            ExplorationSpec(frontier="bfs", shards=2)
+        assert ExplorationSpec(frontier="sharded", shards=4).shards == 4
+
+    def test_spec_pickles(self):
+        import pickle
+
+        spec = ExplorationSpec(frontier="sharded", shards=4,
+                               max_executions=50)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_engine_exposes_its_spec(self):
+        spec = ExplorationSpec(max_executions=7)
+        assert ConcolicEngine(branchy_program, spec=spec).spec is spec
+
+    def test_legacy_keywords_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="ExplorationSpec"):
+            engine = ConcolicEngine(
+                branchy_program, max_executions=9, frontier="dfs"
+            )
+        assert engine.spec.max_executions == 9
+        assert engine.spec.frontier is FrontierDiscipline.DFS
+
+    def test_spec_construction_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ConcolicEngine(branchy_program, spec=ExplorationSpec())
+
+    def test_spec_and_legacy_keywords_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            ConcolicEngine(
+                branchy_program, max_executions=9, spec=ExplorationSpec()
+            )
+
+    def test_module_level_explore(self):
+        result = explore(
+            branchy_program,
+            [SymBytes.mark_all(b"\x00\x00")],
+            spec=ExplorationSpec(max_executions=40),
+        )
+        assert result.unique_paths == 5
+        assert result.crashes
+
+
+class TestShardedExploration:
+    def spec(self, shards):
+        return ExplorationSpec(frontier="sharded", shards=shards,
+                               max_executions=40)
+
+    def test_sharded_explore_finds_every_path(self):
+        engine = ConcolicEngine(branchy_program, spec=self.spec(4))
+        result = engine.explore([SymBytes.mark_all(b"\x00\x00")])
+        assert result.unique_paths == 5
+        assert result.crashes
+        assert result.frontier_exhausted
+
+    def test_shard_count_does_not_change_the_outcome(self):
+        def summary(shards):
+            engine = ConcolicEngine(
+                branchy_program, solver=Solver(seed=3), spec=self.spec(shards)
+            )
+            result = engine.explore([SymBytes.mark_all(b"\x00\x00")])
+            return (result.unique_paths, result.branch_coverage,
+                    result.shape_coverage, len(result.crashes))
+
+        assert summary(1) == summary(2) == summary(4)
+
+    def test_run_shard_respects_budget_and_mutates_the_frontier(self):
+        engine = ConcolicEngine(branchy_program, spec=self.spec(1))
+        frontier = Frontier.from_seeds(
+            [SymBytes.mark_all(b"\x00\x00")], FrontierDiscipline.SHARDED
+        )
+        result = engine.run_shard(frontier, budget=1)
+        assert result.executions == 1
+        assert frontier.seen_paths  # dedup state accumulated in place
+        assert frontier.entries  # solved children queued for the next round
+        leftover = engine.run_shard(frontier, budget=100)
+        assert leftover.executions >= 1
+        assert result.unique_paths + leftover.unique_paths == 5
+
+    def test_shard_results_report_solver_stats_as_deltas(self):
+        """Shards share one engine/solver here; summing per-shard
+        counters must equal the totals, never double-count."""
+        engine = ConcolicEngine(branchy_program, spec=self.spec(1))
+        frontier = Frontier.from_seeds(
+            [SymBytes.mark_all(b"\x00\x00")], FrontierDiscipline.SHARDED
+        )
+        first = engine.run_shard(frontier, budget=2)
+        second = engine.run_shard(frontier, budget=100)
+        total = first.solver_queries + second.solver_queries
+        assert total == engine._solver.stats.queries

@@ -1,0 +1,165 @@
+"""Sharded-frontier campaigns: bit-equality at any worker count.
+
+The sharding contract: the shard decomposition is *configuration*
+(``frontier_shards``), not an execution mode.  Workers=1 running the
+identical decomposition over the inline transport IS the serial
+reference, and fault reports, per-node path/coverage counters, and
+solver-cache ``state_fingerprint``s are bit-identical at any worker
+count, over any transport, pipelined or not — even when a worker slot
+dies holding a shard mid-round.
+"""
+
+import pytest
+
+from campaign_helpers import faulty_live, node_fingerprint, report_fingerprint
+from chaos import MID_TASK, PRE_DISPATCH, ChaosTransport, Kill
+
+from repro.checks import default_property_suite
+from repro.core.orchestrator import DiceOrchestrator, OrchestratorConfig
+from repro.core.remote import LoopbackTransport, SocketTransport, WorkerServer
+
+
+def run_campaign(workers=1, shards=4, **kwargs):
+    dice = DiceOrchestrator(faulty_live(), default_property_suite())
+    return dice.run_campaign(
+        OrchestratorConfig(
+            inputs_per_node=6,
+            cycles=2,
+            seed=9,
+            workers=workers,
+            frontier_shards=shards,
+            **kwargs,
+        )
+    )
+
+
+def campaign_fingerprint(result):
+    return (
+        report_fingerprint(result),
+        node_fingerprint(result),
+        result.solver_cache_hits,
+        result.solver_cache_misses,
+        result.inputs_explored,
+        result.snapshots_taken,
+        sorted(result.cache_state_fingerprints.items()),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """The same decomposition on one worker — the equality baseline."""
+    return run_campaign(workers=1)
+
+
+class TestShardedCampaigns:
+    def test_sharding_finds_the_seeded_fault(self, serial_reference):
+        assert serial_reference.reports
+        assert serial_reference.inputs_explored > 0
+        assert serial_reference.cycles_completed == 2
+
+    def test_shards_flag_implies_the_sharded_discipline(self):
+        # No explicit --frontier sharded needed: shards > 1 routes the
+        # campaign through the sharded path (node reports carry the
+        # merged-frontier coverage counters, identical either way).
+        implied = run_campaign(workers=1, shards=2)
+        explicit = run_campaign(workers=1, shards=2, frontier="sharded")
+        assert campaign_fingerprint(implied) == campaign_fingerprint(explicit)
+
+    def test_sharded_with_one_shard_still_runs(self):
+        result = run_campaign(workers=1, shards=1, frontier="sharded")
+        assert result.reports
+        assert result.cycles_completed == 2
+
+
+class TestWorkerCountEquality:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_local_pools_match_serial(self, serial_reference, workers):
+        result = run_campaign(workers=workers)
+        assert campaign_fingerprint(result) == campaign_fingerprint(
+            serial_reference
+        )
+
+    def test_loopback_matches_serial(self, serial_reference):
+        result = run_campaign(workers=2, transport="loopback")
+        assert campaign_fingerprint(result) == campaign_fingerprint(
+            serial_reference
+        )
+
+    def test_unpipelined_matches_pipelined(self, serial_reference):
+        result = run_campaign(workers=2, pipeline=False)
+        assert campaign_fingerprint(result) == campaign_fingerprint(
+            serial_reference
+        )
+
+
+class TestShardChaos:
+    def test_slot_death_mid_shard_matches_serial(self, serial_reference):
+        """A slot dies holding a dispatched shard; the shard re-runs
+        hermetically on a survivor (fresh solver, private cache) so the
+        merged session — and the whole campaign — is unchanged."""
+        chaos = {}
+
+        def factory():
+            chaos["transport"] = ChaosTransport(
+                LoopbackTransport(slots=2),
+                [Kill(MID_TASK, slot=1, occurrence=2)],
+            )
+            return chaos["transport"]
+
+        result = run_campaign(workers=2, transport_factory=factory)
+        assert campaign_fingerprint(result) == campaign_fingerprint(
+            serial_reference
+        )
+        assert chaos["transport"].kill_log  # the script really fired
+        assert result.worker_failures == 1
+        assert result.tasks_requeued >= 1
+
+    def test_pre_dispatch_death_matches_serial(self, serial_reference):
+        def factory():
+            return ChaosTransport(
+                LoopbackTransport(slots=2),
+                [Kill(PRE_DISPATCH, slot=0, occurrence=1)],
+            )
+
+        result = run_campaign(workers=2, transport_factory=factory)
+        assert campaign_fingerprint(result) == campaign_fingerprint(
+            serial_reference
+        )
+        assert result.worker_failures == 1
+
+
+@pytest.mark.slow_socket
+@pytest.mark.timeout(300)
+class TestSocketSharding:
+    def test_socket_daemons_match_serial(self, serial_reference):
+        with WorkerServer().start() as alpha, WorkerServer().start() as beta:
+            addresses = [f"{host}:{port}" for host, port in
+                         (alpha.address, beta.address)]
+            result = run_campaign(
+                transport="socket", remote_workers=addresses
+            )
+            assert campaign_fingerprint(result) == campaign_fingerprint(
+                serial_reference
+            )
+
+    def test_socket_daemon_death_mid_shard_matches_serial(
+        self, serial_reference
+    ):
+        with WorkerServer().start() as alpha, WorkerServer().start() as beta:
+            servers = [alpha, beta]
+            addresses = [f"{host}:{port}" for host, port in
+                         (alpha.address, beta.address)]
+
+            def factory():
+                return ChaosTransport(
+                    SocketTransport(addresses),
+                    [Kill(MID_TASK, slot=1, occurrence=2)],
+                    on_kill=lambda slot: servers[slot].close(),
+                )
+
+            result = run_campaign(transport_factory=factory)
+            assert campaign_fingerprint(result) == campaign_fingerprint(
+                serial_reference
+            )
+            assert result.worker_failures == 1
+            assert result.tasks_requeued >= 1

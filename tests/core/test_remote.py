@@ -110,9 +110,7 @@ class TestRemoteWorkerState:
         def interrupted(task, replicas=None):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(
-            remote_module, "run_exploration_task", interrupted
-        )
+        monkeypatch.setattr(remote_module, "run_task", interrupted)
         broken = ExplorationTask(
             index=0, cycle=0, node="r1", snapshot=None,
             suite=default_property_suite(), claims=(), seed=0,
