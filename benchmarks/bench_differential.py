@@ -1,0 +1,109 @@
+"""DIFF — the reference oracle's cost and its zero-divergence gate.
+
+Measures the differential oracle over demo27: what the independent
+fixpoint verification costs relative to simulating the same topology,
+and — the gated part — that the oracle finds **zero divergences** on
+every settled built-in topology.  ``zero_divergences`` flipping to
+False in CI means a model regression slipped into either the simulator
+or the oracle; that is exactly the signal the differential subsystem
+exists to raise, so it fails the bench-regression gate rather than a
+human eyeball.
+
+Run:  pytest benchmarks/bench_differential.py --benchmark-only -s
+"""
+
+import time
+
+import benchlib
+
+from repro.core.live import LiveSystem
+from repro.differential.extract import (
+    capture_canonical_ribs,
+    oracle_for_live,
+    settle_live,
+)
+from repro.differential.reference import ReferenceBackend
+from repro.topo.demo27 import build_demo27
+from repro.topo.gadgets import GADGETS
+
+NON_CONVERGENT = {"bad-gadget"}
+
+
+def _settled_demo27():
+    topology = build_demo27()
+    started = time.monotonic()
+    live = LiveSystem.build(topology.configs, topology.links, seed=27)
+    settle_live(live, deadline=600)
+    return topology, live, time.monotonic() - started
+
+
+def test_diff_fixpoint_verification(benchmark):
+    """Verify the simulator's converged demo27 RIBs against the oracle."""
+    topology, live, sim_wall_s = _settled_demo27()
+    ribs = capture_canonical_ribs(live)
+    oracle = oracle_for_live(live)
+
+    def verify():
+        return oracle.verify_fixpoint(ribs)
+
+    divergences = benchmark.pedantic(verify, rounds=3, iterations=1)
+    routes = sum(len(table) for table in ribs.values())
+
+    # The gadget sweep rides along: every settled gadget must verify
+    # clean, and the non-convergent one must be reported as such.
+    gadget_divergences = 0
+    for name, builder in GADGETS.items():
+        configs, links = builder()
+        if name in NON_CONVERGENT:
+            outcome = ReferenceBackend().converged_ribs(configs, links)
+            assert not outcome.converged
+            continue
+        gadget_live = LiveSystem.build(configs, links, seed=11)
+        settle_live(gadget_live, deadline=600)
+        gadget_divergences += len(
+            oracle_for_live(gadget_live).verify_fixpoint(
+                capture_canonical_ribs(gadget_live)
+            )
+        )
+
+    oracle_wall_s = benchmark.stats.stats.mean
+    benchlib.record(
+        "differential",
+        metrics={
+            "routes_verified": routes,
+            "divergences": len(divergences) + gadget_divergences,
+            "zero_divergences": (
+                len(divergences) + gadget_divergences == 0
+            ),
+            "oracle_wall_s": round(oracle_wall_s, 4),
+            "sim_wall_s": round(sim_wall_s, 3),
+            "oracle_vs_sim_ratio": round(
+                oracle_wall_s / sim_wall_s, 4
+            ) if sim_wall_s else 0.0,
+        },
+        config={"topology": "demo27+gadgets", "nodes": 27},
+    )
+    assert divergences == []
+    assert gadget_divergences == 0
+
+
+def test_diff_construction(benchmark):
+    """Build the oracle's fixpoint from configs alone (no simulator)."""
+    topology = build_demo27()
+
+    def construct():
+        return ReferenceBackend().converged_ribs(
+            topology.configs, topology.links
+        )
+
+    outcome = benchmark.pedantic(construct, rounds=3, iterations=1)
+    assert outcome.converged
+    benchlib.record(
+        "differential",
+        metrics={
+            "construction_rounds": outcome.rounds,
+            "construction_wall_s": round(
+                benchmark.stats.stats.mean, 4
+            ),
+        },
+    )

@@ -52,7 +52,7 @@ GATED_METRICS = {
 
 # Booleans that must never flip to False once True.
 GATED_FLAGS = ("fault_classes_identical", "all_identical",
-               "never_whole_cache")
+               "never_whole_cache", "zero_divergences")
 
 
 def load_payloads(directory: str) -> dict[str, dict]:

@@ -12,6 +12,15 @@ oscillation produces changes proportional to the horizon.  The default
 threshold (8 transitions of the *same* prefix) sits well above anything
 our topologies produce while converging and well below a single
 oscillation period budget.
+
+Change count alone is not enough, though: a system converging *slowly*
+through many successively better paths (see the slow-convergence
+gadget) racks up transitions without ever oscillating.  What separates
+an oscillation is that the best route keeps *returning to a state it
+already left* — so a violation additionally requires the per-prefix
+state sequence to revisit previously-seen states at least
+``min_revisits`` times.  Monotone convergence has zero revisits no
+matter how many steps it takes.
 """
 
 from __future__ import annotations
@@ -30,9 +39,11 @@ class RouteStability(Property):
     fault_class = FAULT_POLICY_CONFLICT
 
     def __init__(self, max_transitions: int = 8,
-                 watch_neighbors: bool = True):
+                 watch_neighbors: bool = True,
+                 min_revisits: int = 2):
         self.max_transitions = max_transitions
         self.watch_neighbors = watch_neighbors
+        self.min_revisits = min_revisits
 
     def prepare(self, context: CheckContext) -> None:
         for name, process in context.clone.processes.items():
@@ -63,6 +74,17 @@ class RouteStability(Property):
                 flaps = [
                     change for change in fresh if change.prefix == prefix
                 ]
+                # A transition sequence only indicates oscillation if it
+                # *returns* to states it already left; monotone (if slow)
+                # convergence never revisits a state.
+                states = [
+                    None if change.new is None
+                    else (change.new.peer, change.new.attributes.key())
+                    for change in flaps
+                ]
+                revisits = len(states) - len(set(states))
+                if revisits < self.min_revisits:
+                    continue
                 violations.append(
                     Violation(
                         property_name=self.name,
@@ -71,12 +93,14 @@ class RouteStability(Property):
                         detail=(
                             f"{prefix} changed best route {count} times "
                             f"within the exploration horizon "
-                            f"(threshold {self.max_transitions}) — "
-                            "likely policy-conflict oscillation"
+                            f"(threshold {self.max_transitions}), "
+                            f"revisiting {revisits} previously-held "
+                            "states — likely policy-conflict oscillation"
                         ),
                         evidence={
                             "prefix": str(prefix),
                             "transitions": count,
+                            "revisits": revisits,
                             "first_at": flaps[0].time,
                             "last_at": flaps[-1].time,
                             "origin_node": context.node,

@@ -33,7 +33,9 @@ from repro.core.offline import OfflineParserTester
 from repro.core.reporting import save_campaign
 from repro.viz import render_campaign, render_live_system, render_topology
 
-_BUILTIN_TOPOLOGIES = ("quickstart", "demo27", "bad-gadget", "good-gadget")
+from repro.topo.gadgets import GADGETS
+
+_BUILTIN_TOPOLOGIES = ("quickstart", "demo27", *GADGETS)
 
 
 def _build_live(name: str, seed: int):
@@ -48,15 +50,8 @@ def _build_live(name: str, seed: int):
             LiveSystem.build(topology.configs, topology.links, seed=seed),
             topology,
         )
-    if name == "bad-gadget":
-        from repro.topo.gadgets import build_bad_gadget
-
-        configs, links = build_bad_gadget()
-        return LiveSystem.build(configs, links, seed=seed), None
-    if name == "good-gadget":
-        from repro.topo.gadgets import build_good_gadget
-
-        configs, links = build_good_gadget()
+    if name in GADGETS:
+        configs, links = GADGETS[name]()
         return LiveSystem.build(configs, links, seed=seed), None
     raise SystemExit(
         f"unknown topology {name!r}; choose from "
@@ -75,7 +70,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if topology is not None:
         print(render_topology(topology))
         print()
-    converged_at = live.converge(deadline=600)
+    if args.differential != "off":
+        # The oracle pre-pass diffs the *final* state, so wait out
+        # MRAI flushes and damping reuse timers, not just RIB quiet.
+        from repro.differential.extract import settle_live
+
+        converged_at = settle_live(live, deadline=600)
+    else:
+        converged_at = live.converge(deadline=600)
     print(f"converged at t={converged_at:.1f}s")
     print(render_live_system(live))
     print()
@@ -97,6 +99,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             transport=args.transport,
             remote_workers=remote_workers,
             max_worker_failures=args.max_worker_failures,
+            differential=args.differential,
         )
     )
     print(render_campaign(result))
@@ -229,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "rebuilt by replay, results unchanged "
                                "(default: all but one slot; 0 disables "
                                "failover)")
+    campaign.add_argument("--differential", default="off",
+                          choices=("off", "reference", "bird"),
+                          help="check the converged live system against "
+                               "an independent oracle before exploring: "
+                               "'reference' (pure-python fixpoint, always "
+                               "available) or 'bird' (real BIRD daemons "
+                               "in network namespaces); divergences are "
+                               "reported as model_divergence faults")
     campaign.add_argument("--report", default=None,
                           help="write JSON report to this path")
     campaign.add_argument("--fail-on-fault", action="store_true",

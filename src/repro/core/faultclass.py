@@ -14,11 +14,17 @@ from typing import Any
 FAULT_PROGRAMMING_ERROR = "programming_error"
 FAULT_POLICY_CONFLICT = "policy_conflict"
 FAULT_OPERATOR_MISTAKE = "operator_mistake"
+# Not in the paper's triad: raised when an independent oracle (the
+# reference fixpoint or a real BIRD deployment) disagrees with the
+# simulator about the converged routes — evidence of a model bug rather
+# than a fault in the system under test.
+FAULT_MODEL_DIVERGENCE = "model_divergence"
 
 ALL_FAULT_CLASSES = (
     FAULT_PROGRAMMING_ERROR,
     FAULT_POLICY_CONFLICT,
     FAULT_OPERATOR_MISTAKE,
+    FAULT_MODEL_DIVERGENCE,
 )
 
 

@@ -38,13 +38,17 @@ def bgp_process_factory(checkpoint: NodeCheckpoint) -> BGPRouter:
 class LiveSystem:
     """A running federation of BGP routers."""
 
-    def __init__(self, network: Network, configs: list[RouterConfig]):
+    def __init__(self, network: Network, configs: list[RouterConfig],
+                 links: Iterable[LinkSpec] | None = None):
         self.network = network
         self.configs = list(configs)
         # The trusted baseline: configurations as initially deployed.
         # Origination claims (the IRR analogue) derive from these, so a
         # later runtime change cannot launder itself into legitimacy.
         self.initial_configs = list(configs)
+        # The link list the network was wired from; differential oracles
+        # that rebuild the topology elsewhere (BIRD) need it.
+        self.links = list(links) if links is not None else []
         self.coordinator = SnapshotCoordinator(network)
         self._churn_count = 0
 
@@ -58,12 +62,13 @@ class LiveSystem:
     ) -> "LiveSystem":
         """Construct the network, add routers, wire links."""
         configs = list(configs)
+        links = list(links)
         network = Network(seed=seed, trace=TraceRecorder(enabled=trace_enabled))
         for config in configs:
             network.add_process(BGPRouter(config, connect_delay=connect_delay))
         for a, b, profile in links:
             network.add_link(a, b, profile)
-        return LiveSystem(network, configs)
+        return LiveSystem(network, configs, links=links)
 
     # -- running --
 

@@ -147,6 +147,13 @@ class OrchestratorConfig:
     # cache — purely for accounting.  Turn off to shave that from the
     # dispatch path; bytes shipped are measured either way.
     measure_cache_baseline: bool = True
+    # Differential-oracle pre-pass: "off", "reference" (pure-python
+    # fixpoint oracle), or "bird" (real BIRD daemons in namespaces).
+    # When enabled, the live system's converged routes are checked
+    # against the oracle before exploration starts, and divergences
+    # lead the campaign's fault reports as model_divergence faults;
+    # --differential on the CLI.
+    differential: str = "off"
 
 
 @dataclass
@@ -215,6 +222,18 @@ class CampaignResult:
     # identical across worker counts and pipelining (determinism
     # tests assert on them).
     cache_state_fingerprints: dict[str, int] = field(default_factory=dict)
+    # Differential-oracle pre-pass accounting (see
+    # repro.checks.differential): which oracle ran, how many
+    # divergences it found over how many (router, prefix) entries, its
+    # wall-clock cost, and — when it could not run — why it was
+    # skipped.  The pre-pass executes once in the main process over
+    # the singular live system, so these are independent of workers,
+    # pipelining, and transport by construction.
+    differential_mode: str = "off"
+    divergences: int = 0
+    prefixes_checked: int = 0
+    oracle_wall_s: float = 0.0
+    differential_skipped: str = ""
 
     def time_to_detection(self) -> dict[str, float]:
         """Wall-clock seconds to the first report of each fault class."""
@@ -343,7 +362,43 @@ class DiceOrchestrator:
         return reports
 
     def run_campaign(self, config: OrchestratorConfig) -> CampaignResult:
-        """Run the configured number of cycles; see module docstring."""
+        """Run the configured number of cycles; see module docstring.
+
+        With ``config.differential`` enabled, an oracle pre-pass first
+        checks the live system's converged routes against an
+        independent authority (:mod:`repro.checks.differential`); any
+        divergences lead the campaign's fault reports as
+        ``model_divergence`` faults.  The pre-pass runs once, in the
+        main process, over the singular live system — before
+        exploration advances it — so its verdict is byte-identical at
+        any worker count, shard count, or transport.
+        """
+        prepass_reports, prepass_stats = self._differential_prepass(config)
+        result = self._run_campaign_inner(config)
+        result.differential_mode = prepass_stats["mode"]
+        result.divergences = prepass_stats["divergences"]
+        result.prefixes_checked = prepass_stats["prefixes_checked"]
+        result.oracle_wall_s = prepass_stats["oracle_wall_s"]
+        result.differential_skipped = prepass_stats.get("skipped", "")
+        if prepass_reports:
+            result.reports = prepass_reports + result.reports
+        return result
+
+    def _differential_prepass(
+        self, config: OrchestratorConfig
+    ) -> tuple[list[FaultReport], dict]:
+        if config.differential == "off":
+            return [], {
+                "mode": "off", "divergences": 0,
+                "prefixes_checked": 0, "oracle_wall_s": 0.0,
+            }
+        # Imported here: the checks package pulls in the differential
+        # oracles, which campaigns without the knob never need.
+        from repro.checks.differential import differential_fault_reports
+
+        return differential_fault_reports(self._live, config.differential)
+
+    def _run_campaign_inner(self, config: OrchestratorConfig) -> CampaignResult:
         workers = self._campaign_workers(config)
         discipline, shards = self._frontier_mode(config)
         if discipline is FrontierDiscipline.SHARDED:

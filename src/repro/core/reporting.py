@@ -108,6 +108,16 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
                 for node, fingerprint
                 in sorted(result.cache_state_fingerprints.items())
             },
+            # Differential-oracle pre-pass (repro.checks.differential):
+            # which independent oracle vetted the live system's
+            # converged routes before exploration, and its verdict.
+            "differential": {
+                "mode": result.differential_mode,
+                "divergences": result.divergences,
+                "prefixes_checked": result.prefixes_checked,
+                "oracle_wall_s": round(result.oracle_wall_s, 6),
+                "skipped": result.differential_skipped,
+            },
             "fault_classes_found": result.fault_classes_found(),
             "time_to_detection": {
                 k: round(v, 6)

@@ -1,0 +1,82 @@
+"""Differential oracles: independent authorities on converged routing.
+
+The simulator's property checks otherwise evaluate the simulator
+against itself.  This package supplies two independent oracles behind
+one :class:`Oracle` protocol:
+
+* the **reference oracle** (:mod:`repro.differential.reference`) — a
+  pure-python re-derivation of BGP route propagation as a declarative
+  fixpoint, always available;
+* the **BIRD oracle** (:mod:`repro.differential.bird`) — compiles the
+  same configs to BIRD 2.x and runs real daemons in network namespaces,
+  available only where the ``bird`` binary (and root) is.
+
+Both reduce their answers to the canonical RIB form in
+:mod:`repro.differential.canonical`, which :class:`RibDiff` compares
+with attribute-level blame.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.differential.canonical import (
+    BLAME_FIELDS,
+    CanonicalRib,
+    CanonicalRoute,
+    Divergence,
+    RibDiff,
+)
+from repro.differential.reference import (
+    OracleOutcome,
+    OracleRoute,
+    ReferenceBackend,
+    ReferenceOracle,
+)
+
+ORACLE_MODES = ("off", "reference", "bird")
+
+
+@runtime_checkable
+class Oracle(Protocol):
+    """An independent authority on a topology's converged routes."""
+
+    name: str
+
+    def available(self) -> tuple[bool, str]:
+        """(usable, reason-if-not) — e.g. (False, 'bird not installed')."""
+        ...
+
+    def converged_ribs(self, configs, links) -> OracleOutcome:
+        """The oracle's converged canonical RIBs for this topology."""
+        ...
+
+
+def get_oracle(mode: str) -> Oracle:
+    """Look up an oracle backend by CLI mode name."""
+    if mode == "reference":
+        return ReferenceBackend()
+    if mode == "bird":
+        from repro.differential.bird import BirdBackend
+
+        return BirdBackend()
+    raise ValueError(
+        f"unknown differential mode {mode!r}; choose from "
+        f"{', '.join(ORACLE_MODES[1:])}"
+    )
+
+
+__all__ = [
+    "BLAME_FIELDS",
+    "CanonicalRib",
+    "CanonicalRoute",
+    "Divergence",
+    "Oracle",
+    "ORACLE_MODES",
+    "OracleOutcome",
+    "OracleRoute",
+    "ReferenceBackend",
+    "ReferenceOracle",
+    "RibDiff",
+    "get_oracle",
+]

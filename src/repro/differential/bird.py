@@ -1,0 +1,371 @@
+"""The BIRD oracle: real BGP daemons as the independent authority.
+
+Compiles every :class:`~repro.bgp.config.RouterConfig` to BIRD 2.x text
+(:mod:`repro.differential.birdconf`), runs one ``bird`` daemon per
+router in its own network namespace with veth point-to-point links, and
+scrapes ``birdc show route all`` back into the canonical RIB form.
+
+Requires root, the ``bird``/``birdc`` binaries, and ``ip netns`` —
+:meth:`BirdBackend.available` reports exactly what is missing, and the
+pytest ``bird`` marker keeps the end-to-end tests skipped elsewhere.
+:func:`parse_birdc_routes` is a pure function so the scraping logic is
+unit-testable without any of that.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import Origin
+from repro.bgp.ip import Prefix
+from repro.differential.canonical import CanonicalRib, CanonicalRoute
+from repro.differential.birdconf import AddressPlan, compile_router
+from repro.differential.reference import OracleOutcome
+
+_ORIGIN_CODES = {"IGP": Origin.IGP, "EGP": Origin.EGP,
+                 "Incomplete": Origin.INCOMPLETE}
+
+# BIRD assigns this LOCAL_PREF to routes no filter touched; the
+# simulator leaves the attribute absent in the same situation, so the
+# scraper maps the default back to None on eBGP-learned routes.
+_BIRD_DEFAULT_LOCAL_PREF = 100
+
+
+class BirdError(Exception):
+    """The BIRD deployment failed to come up or answer."""
+
+
+@dataclass
+class BirdRoute:
+    """One route block from ``birdc show route all`` output."""
+
+    prefix: str
+    protocol: str
+    selected: bool
+    route_type: str = ""  # "static" | "BGP" (from the Type: line)
+    origin: str = "IGP"
+    as_path: tuple[tuple[str, tuple[int, ...]], ...] = ()
+    next_hop: str | None = None
+    med: int | None = None
+    local_pref: int | None = None
+    communities: tuple[int, ...] = ()
+
+
+def parse_birdc_routes(text: str) -> list[BirdRoute]:
+    """Parse ``birdc show route all`` output into route records.
+
+    Pure text → data; network-free so tests can feed canned transcripts.
+    Handles the BIRD 2.x layout: a header line per route
+    (``<prefix> unicast [<proto> <time>] * (metric)``, the ``*``
+    marking the selected route, the prefix omitted on additional routes
+    for the same prefix) followed by indented attribute lines.
+    """
+    routes: list[BirdRoute] = []
+    current: BirdRoute | None = None
+    last_prefix: str | None = None
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line or line.startswith(("BIRD", "Table ")):
+            continue
+        if _is_header(line):
+            current = _parse_header(line.strip(), last_prefix)
+            last_prefix = current.prefix
+            routes.append(current)
+            continue
+        if current is not None:
+            _parse_attribute(line.strip(), current)
+    return routes
+
+
+def _is_header(line: str) -> bool:
+    """Attribute lines are tab-indented; headers start with the prefix
+    or — for additional routes to the same prefix — are space-padded to
+    the ``unicast`` column."""
+    if line.startswith("\t"):
+        return False
+    first = line.split(None, 1)[0]
+    return "/" in first or first in ("unicast", "unreachable", "blackhole")
+
+
+def _parse_header(line: str, last_prefix: str | None) -> BirdRoute:
+    head, _, bracketed = line.partition("[")
+    proto = bracketed.split()[0] if bracketed else ""
+    head_fields = head.split()
+    if head_fields and "/" in head_fields[0]:
+        prefix = head_fields[0]
+    elif last_prefix is not None:
+        prefix = last_prefix  # continuation: same prefix, another route
+    else:
+        raise BirdError(f"route header without prefix: {line!r}")
+    after = line.partition("]")[2]
+    return BirdRoute(
+        prefix=prefix,
+        protocol=proto,
+        selected="*" in after.split("(")[0],
+    )
+
+
+def _parse_attribute(line: str, route: BirdRoute) -> None:
+    if line.startswith("Type:"):
+        route.route_type = line.split()[1]
+    elif line.startswith("via "):
+        route.next_hop = line.split()[1]
+    elif line.startswith("BGP.origin:"):
+        route.origin = line.split(":", 1)[1].strip()
+    elif line.startswith("BGP.as_path:"):
+        route.as_path = _parse_as_path(line.split(":", 1)[1].strip())
+    elif line.startswith("BGP.next_hop:"):
+        route.next_hop = line.split(":", 1)[1].strip().split()[0]
+    elif line.startswith("BGP.med:"):
+        route.med = int(line.split(":", 1)[1].strip())
+    elif line.startswith("BGP.local_pref:"):
+        route.local_pref = int(line.split(":", 1)[1].strip())
+    elif line.startswith("BGP.community:"):
+        route.communities = _parse_communities(line.split(":", 1)[1])
+
+
+def _parse_as_path(text: str) -> tuple[tuple[str, tuple[int, ...]], ...]:
+    """``65111 65110 { 65001 65002 }`` → canonical segment tuples."""
+    segments: list[tuple[str, tuple[int, ...]]] = []
+    sequence: list[int] = []
+    tokens = text.split()
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token == "{":
+            if sequence:
+                segments.append(("sequence", tuple(sequence)))
+                sequence = []
+            closing = tokens.index("}", index)
+            segments.append(
+                ("set", tuple(int(t) for t in tokens[index + 1:closing]))
+            )
+            index = closing + 1
+            continue
+        sequence.append(int(token))
+        index += 1
+    if sequence:
+        segments.append(("sequence", tuple(sequence)))
+    return tuple(segments)
+
+
+def _parse_communities(text: str) -> tuple[int, ...]:
+    values = []
+    for piece in text.replace("(", " ").replace(")", " ").split():
+        high, _, low = piece.partition(",")
+        if low:
+            values.append(((int(high) & 0xFFFF) << 16) | (int(low) & 0xFFFF))
+    return tuple(sorted(set(values)))
+
+
+@dataclass
+class BirdExecutor:
+    """Deploy, converge and scrape a BIRD mirror of a topology.
+
+    Namespaces are named ``dice-<router>``; veth ends ``d<k>a``/``d<k>b``
+    per link index.  ``teardown`` is idempotent and always attempted, so
+    a failed deployment does not leak namespaces.
+    """
+
+    configs: list
+    links: list
+    bird: str = "bird"
+    birdc: str = "birdc"
+    settle_s: float = 5.0
+    deadline_s: float = 60.0
+    workdir: str | None = None
+    _names: list[str] = field(default_factory=list)
+    _started: list[str] = field(default_factory=list)
+
+    def run(self) -> CanonicalRib:
+        try:
+            self.setup()
+            self.wait_established()
+            time.sleep(self.settle_s)
+            return self.collect()
+        finally:
+            self.teardown()
+
+    # -- deployment --
+
+    def setup(self) -> None:
+        plan = AddressPlan(self.links)
+        if self.workdir is None:
+            self.workdir = tempfile.mkdtemp(prefix="dice-bird-")
+        for config in self.configs:
+            ns = self._ns(config.name)
+            self._sh("ip", "netns", "add", ns)
+            self._names.append(config.name)
+            self._sh("ip", "-n", ns, "link", "set", "lo", "up")
+        for index, (a, b, _profile) in enumerate(self.links):
+            self._wire(index, a, b, plan)
+        for config in self.configs:
+            self._launch(config, plan)
+
+    def _wire(self, index: int, a: str, b: str, plan: AddressPlan) -> None:
+        end_a, end_b = f"d{index}a", f"d{index}b"
+        self._sh("ip", "link", "add", end_a, "type", "veth",
+                 "peer", "name", end_b)
+        for end, router, remote in ((end_a, a, b), (end_b, b, a)):
+            ns = self._ns(router)
+            address = plan.session(router, remote)
+            self._sh("ip", "link", "set", end, "netns", ns)
+            self._sh("ip", "-n", ns, "addr", "add",
+                     f"{address.local}/{address.prefix_len}", "dev", end)
+            self._sh("ip", "-n", ns, "link", "set", end, "up")
+
+    def _launch(self, config, plan: AddressPlan) -> None:
+        directory = os.path.join(self.workdir, config.name)
+        os.makedirs(directory, exist_ok=True)
+        conf = os.path.join(directory, "bird.conf")
+        with open(conf, "w", encoding="utf-8") as handle:
+            handle.write(compile_router(config, plan))
+        self._sh("ip", "netns", "exec", self._ns(config.name),
+                 self.bird, "-c", conf, "-s", self._socket(config.name),
+                 "-P", os.path.join(directory, "bird.pid"))
+        self._started.append(config.name)
+
+    def wait_established(self) -> None:
+        """Poll until every configured session is Established."""
+        expected = {
+            config.name: len(config.neighbors) for config in self.configs
+        }
+        deadline = time.monotonic() + self.deadline_s
+        while time.monotonic() < deadline:
+            if all(
+                self._established_count(name) >= expected[name]
+                for name in self._started
+            ):
+                return
+            time.sleep(0.5)
+        raise BirdError(
+            f"sessions not Established within {self.deadline_s}s"
+        )
+
+    def _established_count(self, name: str) -> int:
+        output = self._birdc(name, "show", "protocols")
+        return sum(
+            1 for line in output.splitlines() if "Established" in line
+        )
+
+    # -- scraping --
+
+    def collect(self) -> CanonicalRib:
+        ribs: CanonicalRib = {}
+        for config in self.configs:
+            output = self._birdc(config.name, "show", "route", "all")
+            ribs[config.name] = self._canonical_table(config, output)
+        return ribs
+
+    def _canonical_table(self, config, output: str):
+        by_protocol = {
+            f"peer_{index}": neighbor
+            for index, neighbor in enumerate(config.neighbors)
+        }
+        peer_ids = {
+            other.name: int(other.router_id) for other in self.configs
+        }
+        table = {}
+        for route in parse_birdc_routes(output):
+            if not route.selected:
+                continue
+            network, _, length = route.prefix.partition("/")
+            prefix = Prefix(network, int(length))
+            if route.route_type == "static" or route.protocol == "originated":
+                table[prefix] = CanonicalRoute(
+                    kind="static", via=None, via_as=None, via_bgp_id=None,
+                    origin=int(Origin.IGP), as_path=(),
+                    next_hop=int(config.router_id),
+                    med=None, local_pref=None, communities=(),
+                )
+                continue
+            neighbor = by_protocol.get(route.protocol)
+            if neighbor is None:
+                continue  # device/kernel noise
+            ibgp = neighbor.peer_as == config.local_as
+            local_pref = route.local_pref
+            if not ibgp and local_pref == _BIRD_DEFAULT_LOCAL_PREF:
+                local_pref = None  # BIRD's implicit default, not an attr
+            table[prefix] = CanonicalRoute(
+                kind="ibgp" if ibgp else "ebgp",
+                via=neighbor.peer,
+                via_as=neighbor.peer_as,
+                via_bgp_id=peer_ids.get(neighbor.peer),
+                origin=int(_ORIGIN_CODES.get(route.origin, Origin.IGP)),
+                as_path=route.as_path,
+                # BIRD's next hop is the real session address; the
+                # simulator's convention is the sender's router id.
+                # Translate so the field is comparable.
+                next_hop=peer_ids.get(neighbor.peer),
+                med=route.med,
+                local_pref=local_pref,
+                communities=route.communities,
+            )
+        return table
+
+    # -- plumbing --
+
+    def teardown(self) -> None:
+        for name in self._started:
+            try:
+                self._birdc(name, "down")
+            except Exception:
+                pass
+        for name in self._names:
+            subprocess.run(
+                ["ip", "netns", "del", self._ns(name)],
+                capture_output=True, check=False,
+            )
+        self._names = []
+        self._started = []
+
+    @staticmethod
+    def _ns(name: str) -> str:
+        return f"dice-{name}"
+
+    def _socket(self, name: str) -> str:
+        return os.path.join(self.workdir, name, "bird.ctl")
+
+    def _birdc(self, name: str, *command: str) -> str:
+        return self._sh(
+            "ip", "netns", "exec", self._ns(name),
+            self.birdc, "-s", self._socket(name), *command,
+        )
+
+    @staticmethod
+    def _sh(*argv: str) -> str:
+        completed = subprocess.run(
+            list(argv), capture_output=True, text=True, check=False
+        )
+        if completed.returncode != 0:
+            raise BirdError(
+                f"{' '.join(argv)} failed: {completed.stderr.strip()}"
+            )
+        return completed.stdout
+
+
+class BirdBackend:
+    """:class:`~repro.differential.Oracle` backed by real BIRD daemons."""
+
+    name = "bird"
+
+    def available(self) -> tuple[bool, str]:
+        missing = [
+            binary for binary in ("bird", "birdc", "ip")
+            if shutil.which(binary) is None
+        ]
+        if missing:
+            return False, f"missing binaries: {', '.join(missing)}"
+        if hasattr(os, "geteuid") and os.geteuid() != 0:
+            return False, "network namespaces require root"
+        return True, ""
+
+    def converged_ribs(self, configs, links) -> OracleOutcome:
+        executor = BirdExecutor(list(configs), list(links))
+        ribs = executor.run()
+        return OracleOutcome(ribs=ribs, converged=True, rounds=0)

@@ -1,0 +1,188 @@
+"""Canonical converged-RIB form shared by every oracle and the differ.
+
+Both sides of a differential comparison — the event-driven simulator,
+the pure-python reference oracle, a real BIRD daemon — reduce their
+converged Loc-RIBs to the same :class:`CanonicalRoute` records keyed by
+``(router, prefix)``.  :class:`RibDiff` then compares two canonical RIBs
+field by field, so a divergence report names the *attribute* that
+disagrees (LOCAL_PREF, AS_PATH, next hop, ...) rather than just the
+route.
+
+Independence rule: this module (like the reference oracle that feeds
+it) may import only :mod:`repro.bgp.attributes` and :mod:`repro.bgp.ip`
+— never the simulator's ``decision``/``router``/``policy`` machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.bgp.attributes import (
+    SEGMENT_AS_SEQUENCE,
+    SEGMENT_AS_SET,
+    AsPath,
+    Origin,
+    PathAttributes,
+)
+from repro.bgp.ip import Prefix
+
+# Route provenance kinds, mirroring the wire-level reality every BGP
+# implementation shares (deliberately re-declared, not imported from
+# repro.bgp.route, to keep the oracle side self-contained).
+KIND_STATIC = "static"
+KIND_EBGP = "ebgp"
+KIND_IBGP = "ibgp"
+
+# The attribute fields a divergence can blame, in report order.
+BLAME_FIELDS = (
+    "kind",
+    "via",
+    "local_pref",
+    "as_path",
+    "origin",
+    "med",
+    "next_hop",
+    "communities",
+)
+
+
+@dataclass(frozen=True)
+class CanonicalRoute:
+    """One converged best path in oracle-neutral form."""
+
+    kind: str                      # static / ebgp / ibgp
+    via: str | None                # learned-from peer name; None = local
+    via_as: int | None             # the neighbor AS it was learned from
+    via_bgp_id: int | None         # the neighbor's BGP identifier
+    origin: int
+    as_path: tuple[tuple[str, tuple[int, ...]], ...]
+    next_hop: int | None
+    med: int | None
+    local_pref: int | None
+    communities: tuple[int, ...]   # sorted, deduplicated
+
+    @staticmethod
+    def from_attributes(
+        attrs: PathAttributes,
+        kind: str,
+        via: str | None = None,
+        via_as: int | None = None,
+        via_bgp_id: int | None = None,
+    ) -> "CanonicalRoute":
+        """Canonicalize one (attributes, provenance) pair."""
+        return CanonicalRoute(
+            kind=kind,
+            via=via,
+            via_as=via_as,
+            via_bgp_id=via_bgp_id,
+            origin=int(attrs.origin),
+            as_path=_canonical_path(attrs.as_path),
+            next_hop=None if attrs.next_hop is None else int(attrs.next_hop),
+            med=None if attrs.med is None else int(attrs.med),
+            local_pref=(
+                None if attrs.local_pref is None else int(attrs.local_pref)
+            ),
+            communities=tuple(sorted(set(int(c) for c in attrs.communities))),
+        )
+
+    def field(self, name: str):
+        """Read one blameable field by name."""
+        return getattr(self, name)
+
+    def describe(self) -> str:
+        """One-line rendering for divergence reports."""
+        via = self.via if self.via is not None else "local"
+        path = " ".join(
+            " ".join(str(asn) for asn in asns)
+            if seg_type == "sequence"
+            else "{" + ",".join(str(asn) for asn in asns) + "}"
+            for seg_type, asns in self.as_path
+        )
+        return (
+            f"via {via} ({self.kind}) path [{path}] "
+            f"lp={self.local_pref} med={self.med} "
+            f"origin={Origin.name(self.origin)}"
+        )
+
+
+def _canonical_path(path: AsPath) -> tuple[tuple[str, tuple[int, ...]], ...]:
+    """AS_PATH as nested plain tuples (segment type name, ASNs)."""
+    names = {SEGMENT_AS_SEQUENCE: "sequence", SEGMENT_AS_SET: "set"}
+    return tuple(
+        (names.get(seg_type, str(seg_type)), tuple(int(a) for a in asns))
+        for seg_type, asns in path.segments
+    )
+
+
+# A canonical RIB: router name -> prefix -> best route (absent = no
+# route to that prefix at that router).
+CanonicalRib = dict[str, dict[Prefix, CanonicalRoute]]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One (router, prefix, field) disagreement between two RIBs."""
+
+    router: str
+    prefix: Prefix
+    field: str                     # a BLAME_FIELDS name, or "route"
+    expected: object               # oracle side
+    actual: object                 # system-under-test side
+
+    def describe(self) -> str:
+        def _render(value: object) -> str:
+            if value is None:
+                return "(no route)"
+            if isinstance(value, CanonicalRoute):
+                return value.describe()
+            return repr(value)
+
+        return (
+            f"{self.router} {self.prefix} [{self.field}]: "
+            f"expected {_render(self.expected)}, got {_render(self.actual)}"
+        )
+
+
+class RibDiff:
+    """Compares two canonical RIBs with attribute-level blame.
+
+    ``expected`` is the oracle's answer, ``actual`` the system under
+    test.  The diff is deterministic: divergences come out sorted by
+    (router, prefix, field order in :data:`BLAME_FIELDS`).
+    """
+
+    def diff(
+        self, expected: CanonicalRib, actual: CanonicalRib
+    ) -> list[Divergence]:
+        """All divergences between the two RIBs."""
+        out: list[Divergence] = []
+        for router in sorted(set(expected) | set(actual)):
+            want = expected.get(router, {})
+            have = actual.get(router, {})
+            for prefix in sorted(set(want) | set(have)):
+                out.extend(
+                    self._diff_route(
+                        router, prefix, want.get(prefix), have.get(prefix)
+                    )
+                )
+        return out
+
+    @staticmethod
+    def _diff_route(
+        router: str,
+        prefix: Prefix,
+        want: CanonicalRoute | None,
+        have: CanonicalRoute | None,
+    ) -> Iterable[Divergence]:
+        if want is None and have is None:
+            return []
+        if want is None or have is None:
+            # Route presence itself diverges; field blame is meaningless.
+            return [Divergence(router, prefix, "route", want, have)]
+        return [
+            Divergence(router, prefix, name, want.field(name),
+                       have.field(name))
+            for name in BLAME_FIELDS
+            if want.field(name) != have.field(name)
+        ]

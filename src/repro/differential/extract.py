@@ -1,0 +1,110 @@
+"""Driver-side glue: canonicalize a live simulator's converged state.
+
+This is the *simulator* half of a differential comparison, so unlike
+the reference oracle it may import model code freely — it reads
+Loc-RIBs, session states, MRAI queues and damping state off a
+:class:`~repro.core.live.LiveSystem` and reduces them to the canonical
+form in :mod:`repro.differential.canonical`.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.messages import KeepaliveMessage, decode_message
+from repro.differential.canonical import CanonicalRib, CanonicalRoute
+from repro.differential.reference import ReferenceOracle
+
+
+def capture_canonical_ribs(live) -> CanonicalRib:
+    """Every router's Loc-RIB in canonical form."""
+    ribs: CanonicalRib = {}
+    for router in live.routers():
+        table: dict = {}
+        for prefix in router.loc_rib.prefixes():
+            route = router.loc_rib.get(prefix)
+            if route is None:
+                continue
+            table[prefix] = CanonicalRoute.from_attributes(
+                route.attributes,
+                kind=route.source,
+                via=route.peer,
+                via_as=route.peer_as,
+                via_bgp_id=(
+                    None if route.peer_bgp_id is None
+                    else int(route.peer_bgp_id)
+                ),
+            )
+        ribs[router.name] = table
+    return ribs
+
+
+def established_adjacency(live) -> dict[str, tuple[str, ...]]:
+    """Which sessions are actually Established right now.
+
+    The fixpoint verifier must reason over the sessions the system
+    *has*, not the sessions the link list implies — a peering that never
+    came up legitimately carries no routes.
+    """
+    return {
+        router.name: tuple(router.established_peers())
+        for router in live.routers()
+    }
+
+
+def network_settled(live) -> bool:
+    """True when the converged state is final, not a snapshot mid-churn.
+
+    Settled means: nothing but KEEPALIVEs in flight, no MRAI-batched
+    exports waiting to flush, and no damping-suppressed routes waiting
+    on a reuse timer.  An unsettled system is *expected* to change, so
+    diffing it against a fixpoint oracle would report phantom
+    divergences.
+    """
+    for message in live.network.in_flight():
+        try:
+            decoded = decode_message(message.payload)
+        except Exception:
+            return False  # fuzz bytes / undecodable traffic: still churning
+        if not isinstance(decoded, KeepaliveMessage):
+            return False
+    now = live.network.sim.now
+    for router in live.routers():
+        if any(router._pending_export.values()):
+            return False
+        if router.dampener is not None and any(
+            router.dampener.suppressed_routes(now)
+        ):
+            return False
+    return True
+
+
+def settle_live(live, deadline: float = 60.0, settle: float = 1.0) -> float:
+    """Converge *and* wait out timer-driven churn; returns sim time.
+
+    ``LiveSystem.converge`` quiesces on "no Loc-RIB change for one settle
+    window", which declares victory too early when an MRAI flush or a
+    damping reuse timer is still pending — the exact races the timing
+    gadgets construct.  This keeps running until a full settle window
+    passes with no RIB change *and* :func:`network_settled` holds at both
+    ends of it.  A topology with no stable state (BAD GADGET) runs to
+    the deadline and comes back unsettled.
+    """
+    clock = live.converge(deadline=deadline, settle=settle)
+
+    def _changes() -> int:
+        return sum(r.loc_rib.changes_total for r in live.routers())
+
+    while clock < deadline:
+        before = _changes()
+        was_settled = network_settled(live)
+        clock = live.network.run(until=clock + settle)
+        if was_settled and network_settled(live) and _changes() == before:
+            return clock
+    return clock
+
+
+def oracle_for_live(live) -> ReferenceOracle:
+    """A reference oracle over the live system's configs and the
+    sessions that actually established."""
+    return ReferenceOracle(
+        live.configs, adjacency=established_adjacency(live)
+    )

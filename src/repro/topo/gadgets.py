@@ -17,6 +17,7 @@ work, expressed as router configurations in our filter language:
 from __future__ import annotations
 
 from repro.bgp.config import NeighborConfig, RouterConfig
+from repro.bgp.damping import DampingParams
 from repro.bgp.ip import IPv4Address, Prefix
 from repro.bgp.policy import Filter
 from repro.net.link import LinkProfile
@@ -157,3 +158,357 @@ def build_disagree() -> tuple[list[RouterConfig], list]:
         ("x", "y", LinkProfile.wan(latency_ms=8.0, jitter_ms=0.5)),
     ]
     return [origin, x, y], links
+
+
+def _quiet(latency_ms: float) -> LinkProfile:
+    """Jitter-free WAN link: the timing gadgets race on *latency order*,
+    which jitter would randomize."""
+    return LinkProfile.wan(latency_ms=latency_ms, jitter_ms=0.0)
+
+
+def build_mrai_race() -> tuple[list[RouterConfig], list]:
+    """MRAI timing race: divergent update ordering under different
+    ``mrai`` settings, converging to one deterministic final state.
+
+    Origin ``o``; two transit ASes ``a`` (mrai=0, announces every best-
+    path change immediately) and ``b`` (mrai=2s, coalesces); sink ``s``.
+    ``b`` hears the origin first and floods its short path, then
+    switches to its preferred longer path via ``a`` — but that
+    re-announcement sits in the MRAI queue for ~2 simulated seconds.
+    ``s`` meanwhile receives ``a``'s path and keeps it on the router-id
+    tie-break, so the race changes the event order, never the outcome.
+    """
+    origin = RouterConfig(
+        name="o",
+        local_as=65100,
+        router_id=IPv4Address("172.16.2.100"),
+        networks=(GADGET_PREFIX,),
+        neighbors=(
+            NeighborConfig(peer="a", peer_as=65101),
+            NeighborConfig(peer="b", peer_as=65102),
+        ),
+    )
+    prefer_a = Filter.compile(
+        "filter imp_via_a { bgp_local_pref = 200; accept; }\n"
+    )
+    a = RouterConfig(
+        name="a",
+        local_as=65101,
+        router_id=IPv4Address("172.16.2.1"),
+        neighbors=(
+            NeighborConfig(peer="o", peer_as=65100),
+            NeighborConfig(peer="b", peer_as=65102),
+            NeighborConfig(peer="s", peer_as=65103),
+        ),
+    )
+    b = RouterConfig(
+        name="b",
+        local_as=65102,
+        router_id=IPv4Address("172.16.2.2"),
+        neighbors=(
+            NeighborConfig(peer="o", peer_as=65100),
+            NeighborConfig(peer="a", peer_as=65101,
+                           import_filter="imp_via_a"),
+            NeighborConfig(peer="s", peer_as=65103),
+        ),
+        filters={"imp_via_a": prefer_a},
+        mrai=2.0,
+    )
+    sink = RouterConfig(
+        name="s",
+        local_as=65103,
+        router_id=IPv4Address("172.16.2.3"),
+        neighbors=(
+            NeighborConfig(peer="a", peer_as=65101),
+            NeighborConfig(peer="b", peer_as=65102),
+        ),
+    )
+    links = [
+        ("o", "a", _quiet(30.0)),   # a hears the origin late...
+        ("o", "b", _quiet(1.0)),    # ...b hears it immediately
+        ("a", "b", _quiet(1.0)),
+        ("a", "s", _quiet(1.0)),
+        ("b", "s", _quiet(1.0)),
+    ]
+    return [origin, a, b, sink], links
+
+
+def build_damping_race() -> tuple[list[RouterConfig], list]:
+    """Route-flap-damping suppression race that settles.
+
+    ``m`` converges through two successively better paths to the origin,
+    so its export toward ``r`` flaps once (readvertise + attribute
+    change).  ``r``'s aggressive damping parameters push the penalty
+    over the suppress threshold on that *legitimate* convergence churn;
+    the route disappears from ``r``'s Loc-RIB until the penalty decays
+    (half-life 2s) and the reuse timer reinstalls it.  The converged
+    state is the same as without damping — the race is purely temporal.
+    """
+    damping = DampingParams(
+        withdraw_penalty=1000.0,
+        attribute_change_penalty=1200.0,
+        readvertise_penalty=600.0,
+        suppress_threshold=1500.0,
+        reuse_threshold=750.0,
+        half_life_s=2.0,
+    )
+    origin = RouterConfig(
+        name="o",
+        local_as=65110,
+        router_id=IPv4Address("172.16.3.100"),
+        networks=(GADGET_PREFIX,),
+        neighbors=(
+            NeighborConfig(peer="a", peer_as=65111),
+            NeighborConfig(peer="m", peer_as=65112),
+        ),
+    )
+    a = RouterConfig(
+        name="a",
+        local_as=65111,
+        router_id=IPv4Address("172.16.3.1"),
+        neighbors=(
+            NeighborConfig(peer="o", peer_as=65110),
+            NeighborConfig(peer="m", peer_as=65112),
+        ),
+    )
+    m = RouterConfig(
+        name="m",
+        local_as=65112,
+        router_id=IPv4Address("172.16.3.2"),
+        neighbors=(
+            NeighborConfig(peer="o", peer_as=65110),
+            NeighborConfig(peer="a", peer_as=65111),
+            NeighborConfig(peer="r", peer_as=65113),
+        ),
+    )
+    r = RouterConfig(
+        name="r",
+        local_as=65113,
+        router_id=IPv4Address("172.16.3.3"),
+        neighbors=(
+            NeighborConfig(peer="m", peer_as=65112),
+        ),
+        damping=damping,
+    )
+    links = [
+        ("o", "m", _quiet(60.0)),   # direct path arrives second
+        ("o", "a", _quiet(1.0)),
+        ("a", "m", _quiet(1.0)),    # indirect path arrives first
+        ("m", "r", _quiet(1.0)),
+    ]
+    return [origin, a, m, r], links
+
+
+def build_wedgie() -> tuple[list[RouterConfig], list]:
+    """A BGP wedgie: backup-community policy with two stable states.
+
+    Customer ``c`` dual-homes to primary ``p1`` and backup ``p2``,
+    tagging the backup announcement with community (65000, 666) which
+    ``p2`` maps to LOCAL_PREF 50 — below its provider routes.  ``p2``'s
+    provider ``p3`` peers with ``p1``.  Intended stable state: everyone
+    reaches ``c`` through ``p1`` and the backup link stays cold; the
+    wedged state (traffic through the backup) is *also* stable, which is
+    what makes the construction a policy conflict.  Link latencies make
+    the cold-start race land on the intended state deterministically.
+    """
+    tag = "(65000, 666)"
+    origin = RouterConfig(
+        name="c",
+        local_as=65120,
+        router_id=IPv4Address("172.16.4.100"),
+        networks=(GADGET_PREFIX,),
+        neighbors=(
+            NeighborConfig(peer="p1", peer_as=65121),
+            NeighborConfig(peer="p2", peer_as=65122,
+                           export_filter="exp_backup"),
+        ),
+        filters={
+            "exp_backup": Filter.compile(
+                f"filter exp_backup {{\n"
+                f"    bgp_community.add({tag});\n"
+                f"    accept;\n"
+                f"}}\n"
+            ),
+        },
+    )
+    customer_200 = Filter.compile(
+        "filter imp_cust { bgp_local_pref = 200; accept; }\n"
+    )
+    peer_100 = Filter.compile(
+        "filter imp_peer { bgp_local_pref = 100; accept; }\n"
+    )
+    p1 = RouterConfig(
+        name="p1",
+        local_as=65121,
+        router_id=IPv4Address("172.16.4.1"),
+        neighbors=(
+            NeighborConfig(peer="c", peer_as=65120, import_filter="imp_cust"),
+            NeighborConfig(peer="p3", peer_as=65123,
+                           import_filter="imp_peer"),
+        ),
+        filters={"imp_cust": customer_200, "imp_peer": peer_100},
+    )
+    p2 = RouterConfig(
+        name="p2",
+        local_as=65122,
+        router_id=IPv4Address("172.16.4.2"),
+        neighbors=(
+            NeighborConfig(peer="c", peer_as=65120,
+                           import_filter="imp_backup"),
+            NeighborConfig(peer="p3", peer_as=65123,
+                           import_filter="imp_prov"),
+        ),
+        filters={
+            "imp_backup": Filter.compile(
+                f"filter imp_backup {{\n"
+                f"    if bgp_community ~ {tag} then {{\n"
+                f"        bgp_local_pref = 50;\n"
+                f"        accept;\n"
+                f"    }}\n"
+                f"    bgp_local_pref = 200;\n"
+                f"    accept;\n"
+                f"}}\n"
+            ),
+            "imp_prov": Filter.compile(
+                "filter imp_prov { bgp_local_pref = 100; accept; }\n"
+            ),
+        },
+    )
+    p3 = RouterConfig(
+        name="p3",
+        local_as=65123,
+        router_id=IPv4Address("172.16.4.3"),
+        neighbors=(
+            NeighborConfig(peer="p1", peer_as=65121,
+                           import_filter="imp_peer"),
+            NeighborConfig(peer="p2", peer_as=65122,
+                           import_filter="imp_cust"),
+        ),
+        filters={"imp_cust": customer_200, "imp_peer": peer_100},
+    )
+    links = [
+        ("c", "p1", _quiet(1.0)),
+        ("c", "p2", _quiet(60.0)),  # backup session comes up last
+        ("p1", "p3", _quiet(1.0)),
+        ("p2", "p3", _quiet(1.0)),
+    ]
+    return [origin, p1, p2, p3], links
+
+
+def build_med_trap() -> tuple[list[RouterConfig], list]:
+    """The deterministic-MED trap across an iBGP pair.
+
+    Origin ``o`` advertises to both members of AS 65131 with different
+    MEDs (10 toward ``b1``, 5 toward ``b2``).  Because MED compares
+    before the eBGP-over-iBGP rule when the neighbor AS matches, ``b1``
+    prefers the *iBGP* path through ``b2`` over its own eBGP session —
+    the classic surprise that motivates the ``always_compare_med``
+    operator knob.  Converges; the surprise is the selected exit.
+    """
+    origin = RouterConfig(
+        name="o",
+        local_as=65130,
+        router_id=IPv4Address("172.16.5.100"),
+        networks=(GADGET_PREFIX,),
+        neighbors=(
+            NeighborConfig(peer="b1", peer_as=65131, export_med=10),
+            NeighborConfig(peer="b2", peer_as=65131, export_med=5),
+        ),
+    )
+    b1 = RouterConfig(
+        name="b1",
+        local_as=65131,
+        router_id=IPv4Address("172.16.5.1"),
+        neighbors=(
+            NeighborConfig(peer="o", peer_as=65130),
+            NeighborConfig(peer="b2", peer_as=65131),
+        ),
+    )
+    b2 = RouterConfig(
+        name="b2",
+        local_as=65131,
+        router_id=IPv4Address("172.16.5.2"),
+        neighbors=(
+            NeighborConfig(peer="o", peer_as=65130),
+            NeighborConfig(peer="b1", peer_as=65131),
+        ),
+    )
+    links = [
+        ("o", "b1", _quiet(1.0)),
+        ("o", "b2", _quiet(1.0)),
+        ("b1", "b2", _quiet(1.0)),
+    ]
+    return [origin, b1, b2], links
+
+
+def build_slow_convergence(stages: int = 12) -> tuple[list[RouterConfig], list]:
+    """Genuinely slow convergence with zero oscillation.
+
+    Tail router ``t`` prefers each relay ``m{i}`` a little more than the
+    previous one (per-neighbor import LOCAL_PREF 100+i), and the relays'
+    sessions to the origin come up in latency order — so ``t``'s best
+    path upgrades ``stages`` times, monotonically, never revisiting a
+    state.  Every change is legitimate convergence: an oscillation
+    heuristic that counts changes alone misclassifies this as a policy
+    conflict, which is exactly what the regression test checks.
+    """
+    origin = RouterConfig(
+        name="d",
+        local_as=65140,
+        router_id=IPv4Address("172.16.6.100"),
+        networks=(GADGET_PREFIX,),
+        neighbors=tuple(
+            NeighborConfig(peer=f"m{i}", peer_as=65140 + i)
+            for i in range(1, stages + 1)
+        ),
+    )
+    configs = [origin]
+    links = []
+    tail_neighbors = []
+    tail_filters = {}
+    for i in range(1, stages + 1):
+        name = f"m{i}"
+        configs.append(
+            RouterConfig(
+                name=name,
+                local_as=65140 + i,
+                router_id=IPv4Address(f"172.16.6.{i}"),
+                neighbors=(
+                    NeighborConfig(peer="d", peer_as=65140),
+                    NeighborConfig(peer="t", peer_as=65139),
+                ),
+            )
+        )
+        links.append(("d", name, _quiet(20.0 * i)))
+        links.append((name, "t", _quiet(1.0)))
+        tail_neighbors.append(
+            NeighborConfig(peer=name, peer_as=65140 + i,
+                           import_filter=f"imp_m{i}")
+        )
+        tail_filters[f"imp_m{i}"] = Filter.compile(
+            f"filter imp_m{i} {{ bgp_local_pref = {100 + i}; accept; }}\n"
+        )
+    configs.append(
+        RouterConfig(
+            name="t",
+            local_as=65139,
+            router_id=IPv4Address("172.16.6.200"),
+            neighbors=tuple(tail_neighbors),
+            filters=tail_filters,
+        )
+    )
+    return configs, links
+
+
+# Every gadget by CLI/registry name.  Builders return (configs, links);
+# all converge except bad-gadget, whose instability is the point.
+GADGETS = {
+    "bad-gadget": build_bad_gadget,
+    "good-gadget": build_good_gadget,
+    "disagree": build_disagree,
+    "mrai-race": build_mrai_race,
+    "damping-race": build_damping_race,
+    "wedgie": build_wedgie,
+    "med-trap": build_med_trap,
+    "slow-convergence": build_slow_convergence,
+}

@@ -136,6 +136,19 @@ def render_campaign(result: CampaignResult) -> str:
             f"{pushed}{baseline}, {result.cache_entries_merged} "
             "entries merged"
         )
+    if result.differential_mode != "off":
+        verdict = (
+            f"skipped ({result.differential_skipped})"
+            if result.differential_skipped
+            else (
+                f"{result.divergences} divergence(s) over "
+                f"{result.prefixes_checked} routes in "
+                f"{result.oracle_wall_s:.2f}s"
+            )
+        )
+        lines.append(
+            f"differential oracle : {result.differential_mode} — {verdict}"
+        )
     if result.wire_bytes_sent or result.wire_bytes_received:
         lines.append(
             f"dispatch wire       : "

@@ -4,7 +4,11 @@ from repro.checks.oscillation import RouteStability
 from repro.core.live import LiveSystem
 from repro.core.properties import CheckContext
 from repro.core.sharing import SharingRegistry
-from repro.topo.gadgets import GADGET_PREFIX, build_good_gadget
+from repro.topo.gadgets import (
+    GADGET_PREFIX,
+    build_good_gadget,
+    build_slow_convergence,
+)
 
 
 def make_context(live, node):
@@ -60,6 +64,45 @@ class TestRouteStability:
         # d originates the prefix and never flaps; with neighbors
         # unwatched, nothing is flagged at d.
         assert prop.check(context) == []
+
+    def test_slow_convergence_not_misclassified(self):
+        """Regression: many transitions ≠ oscillation.
+
+        The slow-convergence gadget upgrades tail router t's best path
+        once per relay — more transitions than max_transitions, but
+        every change is monotone progress toward the final state. The
+        revisit heuristic must keep this off the fault list: a policy
+        conflict *revisits* states (DPC's cycle of ⊁-related states),
+        legitimate convergence never does.
+        """
+        configs, links = build_slow_convergence(stages=12)
+        live = LiveSystem.build(configs, links, seed=9)
+        live.run(until=2)  # sessions coming up; upgrades still ahead
+        prop = RouteStability(max_transitions=8)
+        context = make_context(live, "t")
+        prop.prepare(context)
+        live.converge(deadline=600)
+        router = live.router("t")
+        transitions = sum(
+            1 for change in router.loc_rib.recent_changes(256)
+            if change.prefix == GADGET_PREFIX
+        )
+        assert transitions > prop.max_transitions, (
+            "gadget must out-churn the threshold for the test to bite"
+        )
+        assert prop.check(context) == []
+
+    def test_revisits_still_flagged_above_threshold(self, bad_gadget_live):
+        """The tightened heuristic must not weaken real detection: the
+        BAD GADGET cycles through previously-held states."""
+        bad_gadget_live.run(until=2)
+        prop = RouteStability()
+        context = make_context(bad_gadget_live, "r1")
+        prop.prepare(context)
+        bad_gadget_live.run(until=bad_gadget_live.network.sim.now + 10)
+        violations = prop.check(context)
+        assert violations
+        assert violations[0].evidence["revisits"] >= prop.min_revisits
 
     def test_threshold_configurable(self, converged3):
         from repro.bgp.config import AddNetwork, RemoveNetwork

@@ -29,6 +29,24 @@ from repro.topo.demo27 import build_demo27
 from repro.topo.gadgets import build_bad_gadget
 
 
+def pytest_collection_modifyitems(config, items):
+    """Auto-skip ``bird``-marked tests where the oracle cannot run.
+
+    The end-to-end BIRD tests need the bird2 binaries, root, and ``ip
+    netns``; everywhere else they skip with the concrete reason, and the
+    dedicated bird-smoke CI job runs them for real.
+    """
+    from repro.differential.bird import BirdBackend
+
+    usable, reason = BirdBackend().available()
+    if usable:
+        return
+    skip = pytest.mark.skip(reason=f"bird oracle unavailable: {reason}")
+    for item in items:
+        if item.get_closest_marker("bird") is not None:
+            item.add_marker(skip)
+
+
 @pytest.hookimpl(wrapper=True)
 def pytest_runtest_call(item):
     """Enforce the ``timeout`` marker without a plugin dependency.

@@ -1,0 +1,136 @@
+"""The BIRD oracle: the pure scrape parser, plus the real-daemon test.
+
+``parse_birdc_routes`` is exercised against canned BIRD 2.x transcripts
+so the scraping logic is pinned without needing the daemons; the single
+``bird``-marked test drives the full namespace deployment and only runs
+where root + bird2 are present (the bird-smoke CI job).
+"""
+
+import pytest
+
+from repro.core.live import LiveSystem
+from repro.differential.bird import (
+    BirdBackend,
+    BirdError,
+    parse_birdc_routes,
+)
+from repro.differential.canonical import RibDiff
+from repro.differential.extract import capture_canonical_ribs, settle_live
+from repro.topo.gadgets import GADGETS
+
+TRANSCRIPT = """\
+BIRD 2.0.12 ready.
+Table master4:
+10.1.0.0/16          unicast [originated 10:00:00.000] * (200)
+\tblackhole
+\tType: static univ
+10.2.0.0/16          unicast [peer_0 10:00:01.234] * (100) [AS65002i]
+\tvia 10.200.0.2 on d0a
+\tType: BGP univ
+\tBGP.origin: IGP
+\tBGP.as_path: 65002
+\tBGP.next_hop: 10.200.0.2
+\tBGP.local_pref: 100
+10.3.0.0/16          unicast [peer_0 10:00:01.500] * (100) [AS65004i]
+\tvia 10.200.0.2 on d0a
+\tType: BGP univ
+\tBGP.origin: EGP
+\tBGP.as_path: 65002 65003 { 65004 65005 }
+\tBGP.next_hop: 10.200.0.2
+\tBGP.med: 20
+\tBGP.local_pref: 200
+\tBGP.community: (65000,666) (65000,1) (65000,666)
+                     unicast [peer_1 10:00:01.700] (100) [AS65004i]
+\tvia 10.200.0.6 on d1a
+\tType: BGP univ
+\tBGP.origin: IGP
+\tBGP.as_path: 65006 65004
+\tBGP.next_hop: 10.200.0.6
+\tBGP.local_pref: 100
+"""
+
+
+class TestParseBirdcRoutes:
+    def test_transcript_yields_four_routes(self):
+        routes = parse_birdc_routes(TRANSCRIPT)
+        assert len(routes) == 4
+        assert [r.prefix for r in routes] == [
+            "10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16", "10.3.0.0/16",
+        ]
+
+    def test_static_route_recognised(self):
+        route = parse_birdc_routes(TRANSCRIPT)[0]
+        assert route.protocol == "originated"
+        assert route.route_type == "static"
+        assert route.selected
+
+    def test_bgp_attributes_scraped(self):
+        route = parse_birdc_routes(TRANSCRIPT)[1]
+        assert route.protocol == "peer_0"
+        assert route.route_type == "BGP"
+        assert route.origin == "IGP"
+        assert route.as_path == (("sequence", (65002,)),)
+        assert route.next_hop == "10.200.0.2"
+        assert route.local_pref == 100
+        assert route.med is None
+
+    def test_as_set_segments_and_communities(self):
+        route = parse_birdc_routes(TRANSCRIPT)[2]
+        assert route.as_path == (
+            ("sequence", (65002, 65003)),
+            ("set", (65004, 65005)),
+        )
+        assert route.med == 20
+        # Packed (high << 16 | low), sorted and deduplicated.
+        assert route.communities == (
+            (65000 << 16) | 1,
+            (65000 << 16) | 666,
+        )
+
+    def test_continuation_line_inherits_prefix_and_is_unselected(self):
+        alternate = parse_birdc_routes(TRANSCRIPT)[3]
+        assert alternate.prefix == "10.3.0.0/16"
+        assert alternate.protocol == "peer_1"
+        assert not alternate.selected
+
+    def test_selected_marker_not_confused_by_metric(self):
+        # The "*" must come from between "]" and "(", not from noise
+        # elsewhere on the line.
+        routes = parse_birdc_routes(TRANSCRIPT)
+        assert [r.selected for r in routes] == [True, True, True, False]
+
+    def test_continuation_without_prior_prefix_rejected(self):
+        with pytest.raises(BirdError):
+            parse_birdc_routes(
+                "                     unicast [peer_0 10:00] * (100)\n"
+            )
+
+    def test_empty_output_parses_to_nothing(self):
+        assert parse_birdc_routes("BIRD 2.0.12 ready.\nTable master4:\n") == []
+
+
+class TestAvailability:
+    def test_available_reports_concrete_reason(self):
+        usable, reason = BirdBackend().available()
+        if usable:
+            assert reason == ""
+        else:
+            assert "missing binaries" in reason or "root" in reason
+
+
+@pytest.mark.bird
+@pytest.mark.slow
+@pytest.mark.timeout(180)
+class TestEndToEnd:
+    """Real daemons vs the simulator; skipped unless root + bird2."""
+
+    def test_good_gadget_matches_simulator(self):
+        configs, links = GADGETS["good-gadget"]()
+        outcome = BirdBackend().converged_ribs(configs, links)
+        assert outcome.converged
+        live = LiveSystem.build(configs, links, seed=11)
+        settle_live(live, deadline=120.0)
+        divergences = RibDiff().diff(
+            outcome.ribs, capture_canonical_ribs(live)
+        )
+        assert divergences == [], [d.describe() for d in divergences]

@@ -1,0 +1,205 @@
+"""The RouterConfig → BIRD 2.x compiler."""
+
+import pytest
+
+from repro.bgp.config import NeighborConfig, RouterConfig
+from repro.bgp.damping import DampingParams
+from repro.bgp.ip import IPv4Address, Prefix
+from repro.bgp.policy import Filter
+from repro.bgp.policy_lang import parse_single_filter
+from repro.differential.birdconf import (
+    AddressPlan,
+    CompileError,
+    compile_filter,
+    compile_router,
+)
+from repro.net.link import LinkProfile
+from repro.topo.demo27 import build_demo27
+from repro.topo.gadgets import GADGETS
+
+WIRE = LinkProfile.wan(latency_ms=1.0)
+
+
+def _plan(*pairs):
+    return AddressPlan([(a, b, WIRE) for a, b in pairs])
+
+
+def _router(name="r1", **overrides) -> RouterConfig:
+    base = dict(
+        name=name, local_as=65001,
+        router_id=IPv4Address("172.16.0.1"),
+        networks=(Prefix("10.1.0.0/16"),),
+        neighbors=(NeighborConfig(peer="r2", peer_as=65002),),
+    )
+    base.update(overrides)
+    return RouterConfig(**base)
+
+
+class TestAddressPlan:
+    def test_deterministic_and_symmetric(self):
+        plan_a = _plan(("r1", "r2"), ("r2", "r3"))
+        plan_b = _plan(("r1", "r2"), ("r2", "r3"))
+        session = plan_a.session("r1", "r2")
+        assert session == plan_b.session("r1", "r2")
+        mirror = plan_a.session("r2", "r1")
+        assert session.local == mirror.remote
+        assert session.remote == mirror.local
+
+    def test_distinct_links_get_distinct_subnets(self):
+        plan = _plan(("r1", "r2"), ("r2", "r3"))
+        first = plan.session("r1", "r2")
+        second = plan.session("r2", "r3")
+        assert int(first.local) // 4 != int(second.local) // 4
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(CompileError):
+            _plan(("r1", "r2")).session("r1", "r9")
+
+
+class TestFilterCompilation:
+    def _compile(self, body: str, neighbor=None, prelude=()) -> str:
+        definition = parse_single_filter(f"filter f {{ {body} }}")
+        return compile_filter(definition, "f", neighbor,
+                              accept_prelude=prelude)
+
+    def test_local_pref_assignment(self):
+        text = self._compile("bgp_local_pref = 200; accept;")
+        assert "bgp_local_pref = 200;" in text
+        assert "accept;" in text
+
+    def test_fall_through_rejects_explicitly(self):
+        text = self._compile("accept;")
+        assert text.rstrip().endswith("reject;\n}".replace("\n", "\n"))
+        assert text.count("reject;") == 1
+
+    def test_origin_literals_become_symbolic_names(self):
+        text = self._compile("if bgp_origin = 0 then accept; reject;")
+        assert "bgp_origin = ORIGIN_IGP" in text
+
+    def test_community_match_and_add(self):
+        text = self._compile(
+            "if bgp_community ~ (65000, 666) then reject; "
+            "bgp_community.add((65000, 1)); accept;"
+        )
+        assert "bgp_community ~ (65000, 666)" in text
+        assert "bgp_community.add((65000, 1));" in text
+
+    def test_path_length_and_prepend(self):
+        text = self._compile(
+            "if bgp_path.len > 3 then reject; "
+            "bgp_path.prepend(65001); accept;"
+        )
+        assert "bgp_path.len > 3" in text
+        assert "bgp_path.prepend(65001);" in text
+
+    def test_peer_as_substituted_from_neighbor(self):
+        neighbor = NeighborConfig(peer="r2", peer_as=65002)
+        text = self._compile(
+            "if peer_as = 65002 then accept; reject;", neighbor=neighbor
+        )
+        assert "65002 = 65002" in text
+        assert "peer_as" not in text
+
+    def test_peer_as_without_neighbor_context_refused(self):
+        with pytest.raises(CompileError):
+            self._compile("if peer_as = 65002 then accept; reject;")
+
+    def test_source_static_comparison_maps(self):
+        text = self._compile("if source = 0 then accept; reject;")
+        assert "source = RTS_STATIC" in text
+
+    def test_source_ebgp_comparison_refused(self):
+        with pytest.raises(CompileError):
+            self._compile("if source = 1 then accept; reject;")
+
+    def test_accept_prelude_lands_before_every_accept(self):
+        text = self._compile(
+            "if bgp_path.len > 2 then accept; accept;",
+            prelude=("bgp_med = 10;",),
+        )
+        accepts = text.count("accept;")
+        assert accepts == 2
+        assert text.count("bgp_med = 10;") == accepts
+        for before, after in zip(
+            text.splitlines(), text.splitlines()[1:]
+        ):
+            if after.strip() == "accept;":
+                assert before.strip() == "bgp_med = 10;"
+
+
+class TestRouterCompilation:
+    def test_basic_structure(self):
+        text = compile_router(_router(), _plan(("r1", "r2")))
+        assert "router id 172.16.0.1;" in text
+        assert "route 10.1.0.0/16 blackhole;" in text
+        assert "local 10.200.0.1 as 65001;" in text
+        assert "neighbor 10.200.0.2 as 65002;" in text
+        assert "next hop self;" in text
+
+    def test_export_med_folded_into_export_filter(self):
+        config = _router(
+            neighbors=(
+                NeighborConfig(peer="r2", peer_as=65002, export_med=7),
+            ),
+        )
+        text = compile_router(config, _plan(("r1", "r2")))
+        filter_block = text.split("filter f_0_export")[1].split("}")[0]
+        assert "bgp_med = 7;" in filter_block
+
+    def test_named_filters_compiled_per_session(self):
+        config = _router(
+            neighbors=(
+                NeighborConfig(peer="r2", peer_as=65002,
+                               import_filter="pref"),
+            ),
+            filters={
+                "pref": Filter.compile(
+                    "filter pref { bgp_local_pref = 300; accept; }"
+                )
+            },
+        )
+        text = compile_router(config, _plan(("r1", "r2")))
+        assert "filter f_0_import" in text
+        assert "bgp_local_pref = 300;" in text
+
+    def test_damping_refused(self):
+        config = _router(damping=DampingParams())
+        with pytest.raises(CompileError, match="damping"):
+            compile_router(config, _plan(("r1", "r2")))
+
+    def test_always_compare_med_refused(self):
+        config = _router(always_compare_med=True)
+        with pytest.raises(CompileError, match="always_compare_med"):
+            compile_router(config, _plan(("r1", "r2")))
+
+    def test_unknown_filter_reference_refused(self):
+        config = _router(
+            neighbors=(
+                NeighborConfig(peer="r2", peer_as=65002,
+                               import_filter="missing"),
+            ),
+        )
+        with pytest.raises(CompileError, match="missing"):
+            compile_router(config, _plan(("r1", "r2")))
+
+    def test_every_compilable_builtin_topology_compiles(self):
+        topo = build_demo27()
+        suites = {"demo27": (topo.configs, topo.links)}
+        for name, builder in GADGETS.items():
+            suites[name] = builder()
+        for name, (configs, links) in suites.items():
+            plan = AddressPlan(links)
+            for config in configs:
+                if config.damping is not None:
+                    continue  # BIRD 2.x has no damping; refused by design
+                text = compile_router(config, plan)
+                assert text.count("protocol bgp") == len(config.neighbors)
+
+    def test_compilation_is_reproducible(self):
+        topo = build_demo27()
+        plan_a = AddressPlan(topo.links)
+        plan_b = AddressPlan(topo.links)
+        for config in topo.configs:
+            assert compile_router(config, plan_a) == compile_router(
+                config, plan_b
+            )

@@ -1,0 +1,103 @@
+"""Canonical route form and the attribute-blame differ."""
+
+from repro.bgp.attributes import (
+    SEGMENT_AS_SEQUENCE,
+    SEGMENT_AS_SET,
+    AsPath,
+    Origin,
+    PathAttributes,
+)
+from repro.bgp.ip import IPv4Address, Prefix
+from repro.differential.canonical import (
+    BLAME_FIELDS,
+    CanonicalRoute,
+    RibDiff,
+)
+
+PFX = Prefix("172.16.0.0", 24)
+
+
+def _route(**overrides) -> CanonicalRoute:
+    base = dict(
+        kind="ebgp", via="a", via_as=65001, via_bgp_id=1,
+        origin=int(Origin.IGP),
+        as_path=(("sequence", (65001,)),),
+        next_hop=int(IPv4Address("10.0.0.1")),
+        med=None, local_pref=None, communities=(),
+    )
+    base.update(overrides)
+    return CanonicalRoute(**base)
+
+
+class TestCanonicalization:
+    def test_from_attributes_round_trips_segments(self):
+        attrs = PathAttributes(
+            as_path=AsPath((
+                (SEGMENT_AS_SEQUENCE, (65001, 65002)),
+                (SEGMENT_AS_SET, (65003, 65004)),
+            )),
+            next_hop=IPv4Address("10.0.0.1"),
+        )
+        route = CanonicalRoute.from_attributes(attrs, kind="ebgp", via="a")
+        assert route.as_path == (
+            ("sequence", (65001, 65002)),
+            ("set", (65003, 65004)),
+        )
+
+    def test_communities_sorted_and_deduplicated(self):
+        attrs = PathAttributes(
+            next_hop=IPv4Address("10.0.0.1"),
+            communities=(300, 100, 300, 200),
+        )
+        route = CanonicalRoute.from_attributes(attrs, kind="ebgp")
+        assert route.communities == (100, 200, 300)
+
+    def test_absent_optional_attributes_stay_none(self):
+        attrs = PathAttributes(next_hop=IPv4Address("10.0.0.1"))
+        route = CanonicalRoute.from_attributes(attrs, kind="static")
+        assert route.med is None
+        assert route.local_pref is None
+
+
+class TestRibDiff:
+    def test_identical_ribs_have_no_divergences(self):
+        rib = {"r1": {PFX: _route()}}
+        assert RibDiff().diff(rib, dict(rib)) == []
+
+    def test_field_level_blame(self):
+        expected = {"r1": {PFX: _route(local_pref=200)}}
+        actual = {"r1": {PFX: _route(local_pref=100)}}
+        divergences = RibDiff().diff(expected, actual)
+        assert len(divergences) == 1
+        only = divergences[0]
+        assert only.field == "local_pref"
+        assert only.expected == 200
+        assert only.actual == 100
+        assert "local_pref" in only.describe()
+
+    def test_missing_route_blames_presence_not_fields(self):
+        expected = {"r1": {PFX: _route()}}
+        actual = {"r1": {}}
+        divergences = RibDiff().diff(expected, actual)
+        assert [d.field for d in divergences] == ["route"]
+        assert "(no route)" in divergences[0].describe()
+
+    def test_multiple_fields_reported_in_blame_order(self):
+        expected = {"r1": {PFX: _route(med=5, via="a", via_as=65001)}}
+        actual = {"r1": {PFX: _route(med=9, via="b", via_as=65002)}}
+        fields = [d.field for d in RibDiff().diff(expected, actual)]
+        assert fields == sorted(fields, key=BLAME_FIELDS.index)
+        assert set(fields) == {"via", "med"}
+
+    def test_diff_is_deterministically_ordered(self):
+        other = Prefix("172.16.1.0", 24)
+        expected = {
+            "r2": {PFX: _route()},
+            "r1": {other: _route(), PFX: _route(med=1)},
+        }
+        actual = {"r1": {PFX: _route(med=2)}, "r2": {}}
+        first = RibDiff().diff(expected, actual)
+        second = RibDiff().diff(expected, actual)
+        assert first == second
+        routers = [d.router for d in first]
+        assert routers == sorted(routers)

@@ -1,0 +1,235 @@
+"""The reference oracle against the live simulator.
+
+The oracle re-derives route propagation independently; these tests pin
+both halves of its contract — agreement with the simulator on every
+built-in topology, and the ability to *catch* a seeded simulator bug
+(the whole point of a differential oracle).
+"""
+
+import pytest
+
+from repro.bgp import decision
+from repro.bgp.config import NeighborConfig, RouterConfig
+from repro.bgp.ip import IPv4Address, Prefix
+from repro.bgp.policy import Filter
+from repro.core.live import LiveSystem
+from repro.differential.canonical import BLAME_FIELDS
+from repro.differential.extract import (
+    capture_canonical_ribs,
+    network_settled,
+    oracle_for_live,
+    settle_live,
+)
+from repro.differential.reference import ReferenceBackend, ReferenceOracle
+from repro.net.link import LinkProfile
+from repro.topo.gadgets import GADGETS
+
+SETTLED_GADGETS = [name for name in GADGETS if name != "bad-gadget"]
+
+
+def _verify(live) -> list:
+    return oracle_for_live(live).verify_fixpoint(capture_canonical_ribs(live))
+
+
+class TestFixpointAgreement:
+    def test_quickstart_verifies_clean(self, converged3):
+        assert _verify(converged3) == []
+
+    @pytest.mark.slow
+    def test_demo27_verifies_clean(self, demo27_topology):
+        live = LiveSystem.build(
+            demo27_topology.configs, demo27_topology.links, seed=3
+        )
+        settle_live(live, deadline=300.0)
+        assert network_settled(live)
+        assert _verify(live) == []
+
+    @pytest.mark.parametrize("name", SETTLED_GADGETS)
+    def test_gadgets_verify_clean(self, name):
+        configs, links = GADGETS[name]()
+        live = LiveSystem.build(configs, links, seed=11)
+        settle_live(live, deadline=120.0)
+        assert network_settled(live), f"{name} did not settle"
+        assert _verify(live) == [], f"{name} diverged from the oracle"
+
+    def test_bad_gadget_oracle_also_fails_to_converge(self):
+        configs, links = GADGETS["bad-gadget"]()
+        outcome = ReferenceBackend().converged_ribs(configs, links)
+        assert not outcome.converged
+
+    def test_demo27_constructs_same_fixpoint(self, demo27_topology):
+        outcome = ReferenceBackend().converged_ribs(
+            demo27_topology.configs, demo27_topology.links
+        )
+        assert outcome.converged
+        live = LiveSystem.build(
+            demo27_topology.configs, demo27_topology.links, seed=3
+        )
+        settle_live(live, deadline=300.0)
+        oracle = ReferenceOracle(demo27_topology.configs,
+                                 links=demo27_topology.links)
+        from repro.differential.canonical import RibDiff
+
+        assert RibDiff().diff(
+            outcome.ribs, capture_canonical_ribs(live)
+        ) == []
+
+
+def two_path_system() -> LiveSystem:
+    """Origin o; r hears the prefix via a (lp 200) and b (lp 100).
+
+    The minimal topology where an inverted LOCAL_PREF comparison
+    changes the outcome — shared with the campaign-layer tests.
+    """
+    prefix = Prefix("10.77.0.0/16")
+    o = RouterConfig(
+        name="o", local_as=65200,
+        router_id=IPv4Address("172.16.9.100"),
+        networks=(prefix,),
+        neighbors=(
+            NeighborConfig(peer="a", peer_as=65201),
+            NeighborConfig(peer="b", peer_as=65202),
+        ),
+    )
+    relay = [
+        RouterConfig(
+            name=name, local_as=asn,
+            router_id=IPv4Address(f"172.16.9.{index}"),
+            neighbors=(
+                NeighborConfig(peer="o", peer_as=65200),
+                NeighborConfig(peer="r", peer_as=65203),
+            ),
+        )
+        for index, (name, asn) in enumerate(
+            (("a", 65201), ("b", 65202)), start=1
+        )
+    ]
+    pref_a = Filter.compile(
+        "filter via_a { bgp_local_pref = 200; accept; }"
+    )
+    pref_b = Filter.compile(
+        "filter via_b { bgp_local_pref = 100; accept; }"
+    )
+    r = RouterConfig(
+        name="r", local_as=65203,
+        router_id=IPv4Address("172.16.9.200"),
+        neighbors=(
+            NeighborConfig(peer="a", peer_as=65201,
+                           import_filter="via_a"),
+            NeighborConfig(peer="b", peer_as=65202,
+                           import_filter="via_b"),
+        ),
+        filters={"via_a": pref_a, "via_b": pref_b},
+    )
+    wire = LinkProfile.wan(latency_ms=1.0, jitter_ms=0.0)
+    links = [("o", "a", wire), ("o", "b", wire),
+             ("a", "r", wire), ("b", "r", wire)]
+    return LiveSystem.build([o, *relay, r], links, seed=5)
+
+
+class TestSeededMutationCaught:
+    """The acceptance criterion: a wrong decision process is flagged."""
+
+    def test_healthy_system_verifies_clean(self):
+        live = two_path_system()
+        settle_live(live)
+        assert _verify(live) == []
+
+    def test_inverted_local_pref_caught_with_blame(self):
+        with decision.mutation(decision.MUTATION_INVERT_LOCAL_PREF):
+            live = two_path_system()
+            settle_live(live)
+            divergences = _verify(live)
+        assert divergences, "mutated simulator escaped the oracle"
+        at_r = [d for d in divergences if d.router == "r"]
+        assert at_r, "blame should land on the router that chose wrongly"
+        fields = {d.field for d in at_r}
+        assert fields <= set(BLAME_FIELDS) | {"route"}
+        # The wrong choice is visible as attribute-level blame: r picked
+        # the lp-100 path via b where the oracle expects lp 200 via a.
+        assert {"via", "local_pref"} & fields
+        blamed = next(d for d in at_r if d.field in ("via", "local_pref"))
+        assert blamed.expected != blamed.actual
+
+    def test_mutation_context_restores_behaviour(self):
+        live = two_path_system()
+        settle_live(live)
+        assert _verify(live) == []  # hook left no residue
+
+
+class TestIndependence:
+    """The oracle must not lean on the model it is checking.
+
+    ``repro/__init__.py`` imports the whole simulator for its public
+    API, so a runtime sys.modules check cannot isolate the oracle; the
+    enforceable contract is the oracle modules' *own* import statements,
+    checked against the documented allowlist at the AST level.
+    """
+
+    ALLOWED = {
+        # stdlib
+        "__future__", "dataclasses", "typing",
+        # the documented allowlist: wire-level attribute types,
+        # addressing, config types (incl. the filter AST they carry),
+        # and the oracle package itself
+        "repro.bgp.attributes",
+        "repro.bgp.config",
+        "repro.bgp.damping",
+        "repro.bgp.ip",
+        "repro.bgp.policy_lang",
+        "repro.differential.canonical",
+        "repro.differential.reference",
+    }
+    FORBIDDEN_SUBSTRINGS = (
+        "decision", "router", "repro.bgp.policy\n", "net.sim",
+        "core.live", "repro.bgp.rib",
+    )
+
+    @pytest.mark.parametrize(
+        "module", ["canonical", "reference"]
+    )
+    def test_oracle_modules_import_only_the_allowlist(self, module):
+        import ast
+        import repro.differential as package
+        from pathlib import Path
+
+        source = (
+            Path(package.__file__).parent / f"{module}.py"
+        ).read_text()
+        imported: set[str] = set()
+        for node in ast.walk(ast.parse(source)):
+            if isinstance(node, ast.Import):
+                imported.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                imported.add(node.module or "")
+        unexpected = imported - self.ALLOWED
+        assert not unexpected, (
+            f"{module}.py imports outside the independence allowlist: "
+            f"{sorted(unexpected)} — the oracle must never import the "
+            "decision/router/policy machinery it is checking"
+        )
+
+    def test_oracle_runs_without_simulator_state(self):
+        """The oracle produces its fixpoint from configs alone — no
+        network, no routers, no clock."""
+        configs, links = GADGETS["good-gadget"]()
+        outcome = ReferenceOracle(
+            configs, links=links
+        ).stable_state()
+        assert outcome.converged
+        assert all(table for table in outcome.ribs.values())
+
+    def test_oracle_handles_unestablished_sessions(self):
+        """An adjacency restriction drops routes that would need the
+        missing session — no phantom expectations."""
+        configs, links = GADGETS["good-gadget"]()
+        oracle = ReferenceOracle(
+            configs, adjacency={cfg.name: () for cfg in configs}
+        )
+        outcome = oracle.stable_state()
+        assert outcome.converged
+        for name, table in outcome.ribs.items():
+            for route in table.values():
+                assert route.kind == "static", (
+                    f"{name} learned {route} without any session"
+                )

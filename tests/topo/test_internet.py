@@ -1,5 +1,10 @@
 """Tests for the Internet-like topology generator."""
 
+import hashlib
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.checks.reachability import convergence_complete
@@ -119,6 +124,111 @@ class TestPolicies:
                         f"{name} leaked a provider route to "
                         f"{relationship} {peer}"
                     )
+
+
+def _topology_digest(params: TopologyParams) -> str:
+    """A byte-level fingerprint of everything the generator emits.
+
+    Rendering every config through the BIRD compiler covers names,
+    ASNs, router ids, networks, neighbor order, filter semantics and
+    link order (via the address plan) in one deterministic text form.
+    """
+    from repro.differential.birdconf import AddressPlan, compile_router
+
+    topology = build_internet(params)
+    plan = AddressPlan(topology.links)
+    digest = hashlib.sha256()
+    for config in topology.configs:
+        digest.update(compile_router(config, plan).encode())
+    for pair in sorted(topology.relationships.items()):
+        digest.update(repr(pair).encode())
+    return digest.hexdigest()
+
+
+class TestGeneratorInvariants:
+    """Same seed ⇒ byte-identical output, across processes too.
+
+    The campaign layer replays topologies from (params, seed) alone —
+    any hidden dependence on hash randomisation or process state would
+    silently break snapshot replay and the differential oracle.
+    """
+
+    def test_same_seed_byte_identical_in_process(self):
+        assert _topology_digest(SMALL) == _topology_digest(SMALL)
+
+    def test_same_seed_byte_identical_across_processes(self):
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)
+            ))), "src",
+        )
+        code = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from test_internet import _topology_digest, SMALL\n"
+            "print(_topology_digest(SMALL))\n"
+        ).format(src=src)
+        digests = []
+        for hash_seed in ("1", "271828"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=os.path.dirname(
+                           os.path.abspath(__file__)))
+            completed = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.append(completed.stdout.strip())
+        assert digests[0] == digests[1] == _topology_digest(SMALL)
+
+    def test_tier1_clique_has_every_link(self):
+        params = TopologyParams(tier1=4, transit=3, stubs=3, seed=2)
+        topology = build_internet(params)
+        tier1 = topology.nodes_in_tier(1)
+        linked = {
+            frozenset((a, b)) for a, b, _profile in topology.links
+        }
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1:]:
+                assert frozenset((a, b)) in linked, (
+                    f"tier-1 clique missing physical link {a}–{b}"
+                )
+                assert topology.relationships[(a, b)] == REL_PEER
+
+    def test_valley_free_under_oracle_export_semantics(self):
+        """The oracle's own export machinery — which runs the generated
+        filters through an independent interpreter — must withhold
+        peer/provider-learned routes from peers and providers."""
+        from repro.differential.reference import (
+            ReferenceOracle,
+            _decanonicalize,
+        )
+        from repro.topo.internet import _REL_COMMUNITY
+
+        topology = build_internet(SMALL)
+        oracle = ReferenceOracle(topology.configs, links=topology.links)
+        outcome = oracle.stable_state()
+        assert outcome.converged
+        learned_tags = {
+            _REL_COMMUNITY[REL_PEER], _REL_COMMUNITY[REL_PROVIDER],
+        }
+        checked = 0
+        for name, table in outcome.ribs.items():
+            lateral = [
+                other for (node, other), rel
+                in topology.relationships.items()
+                if node == name and rel in (REL_PEER, REL_PROVIDER)
+            ]
+            for prefix, route in table.items():
+                if not learned_tags & set(route.communities):
+                    continue  # own or customer-learned: exportable
+                for neighbor in lateral:
+                    exported = oracle._export(
+                        name, neighbor, prefix, _decanonicalize(route)
+                    )
+                    assert exported is None, (
+                        f"{name} would leak {prefix} to {neighbor}"
+                    )
+                    checked += 1
+        assert checked, "no peer/provider-learned routes exercised"
 
 
 class TestConvergence:
