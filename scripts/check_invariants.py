@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""CI gate: run the invariant linter and fail on any new finding.
+
+Thin wrapper over ``repro.analysis.cli`` pinned to the repo's layout:
+lints ``src/`` against the committed ``invariants-baseline.json`` and
+writes the JSON report for the CI artifact.  Any finding that is not
+pragma-suppressed (with a reason) or baselined (with a reason) fails
+the gate, as do reasonless waivers and stale baseline entries.
+
+Run:  python scripts/check_invariants.py [--json FILE] [--paths P ...]
+
+``--paths`` exists for the negative smoke test, which points the gate
+at a doctored copy of the tree and asserts it fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis.cli import run_lint  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_invariants",
+        description="invariant-lint CI gate (repro lint + repo baseline)",
+    )
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        dest="json_path",
+                        help="write the JSON report here (CI artifact)")
+    parser.add_argument("--paths", nargs="+", default=None, metavar="PATH",
+                        help="override the lint roots (default: src/)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="override the baseline file (default: the "
+                             "committed invariants-baseline.json)")
+    args = parser.parse_args(argv)
+
+    lint_args = argparse.Namespace(
+        paths=args.paths or [os.path.join(REPO_ROOT, "src")],
+        baseline=args.baseline
+        or os.path.join(REPO_ROOT, "invariants-baseline.json"),
+        no_baseline=False,
+        json_path=args.json_path,
+        write_baseline=False,
+        list_rules=False,
+        quiet=False,
+    )
+    return run_lint(lint_args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Shared AST plumbing for the rules: aliases, call names, scopes."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the qualified names they import.
+
+    ``import random`` -> {"random": "random"};
+    ``import os.path as p`` -> {"p": "os.path"};
+    ``from random import Random as R`` -> {"R": "random.Random"}.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            base = node.module or ""
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return aliases
+
+
+def qualified_call_name(func: ast.expr,
+                        aliases: dict[str, str]) -> str | None:
+    """Dotted name of a call target, resolved through import aliases.
+
+    ``random.Random`` -> "random.Random"; with ``from random import
+    Random``, bare ``Random`` also -> "random.Random".  None for calls
+    on computed values (``x().y``, subscripts, …).
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Yield every node with its ancestor chain (outermost first)."""
+    stack: list[tuple[ast.AST, list[ast.AST]]] = [(tree, [])]
+    while stack:
+        node, parents = stack.pop()
+        yield node, parents
+        child_parents = [*parents, node]
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_parents))
+
+
+def enclosing_function(
+    parents: list[ast.AST],
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """Innermost function the node sits in, if any."""
+    for node in reversed(parents):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def module_prefix_match(module: str, pattern: str) -> bool:
+    """True when ``pattern`` names ``module`` or an ancestor package."""
+    return module == pattern or module.startswith(pattern + ".")

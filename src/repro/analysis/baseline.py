@@ -1,0 +1,131 @@
+"""Committed baseline: accepted pre-existing findings, with reasons.
+
+The baseline file maps finding fingerprints (line-number independent,
+see :func:`repro.analysis.findings.finding_fingerprint`) to the reason
+each finding is accepted.  The gate fails on any finding *not* in the
+baseline; a baseline entry without a reason is itself a finding, and
+entries that no longer match anything are reported so the file shrinks
+as code is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "invariants-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    reason: str
+
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: dict[str, BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries={})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {data.get('version')!r}; "
+                f"this tool reads version {BASELINE_VERSION}"
+            )
+        entries = {}
+        for raw in data.get("entries", []):
+            entry = BaselineEntry(
+                fingerprint=raw["fingerprint"],
+                rule=raw.get("rule", ""),
+                path=raw.get("path", ""),
+                reason=raw.get("reason", ""),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_json()
+                for entry in sorted(
+                    self.entries.values(),
+                    key=lambda e: (e.path, e.rule, e.fingerprint),
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      reason: str = "") -> "Baseline":
+        return cls(
+            entries={
+                f.fingerprint: BaselineEntry(
+                    fingerprint=f.fingerprint,
+                    rule=f.rule,
+                    path=f.path,
+                    reason=reason,
+                )
+                for f in findings
+            }
+        )
+
+
+@dataclass
+class BaselineSplit:
+    """Findings partitioned against a baseline."""
+
+    new: list[Finding]
+    accepted: list[tuple[Finding, BaselineEntry]]
+    reasonless: list[BaselineEntry]
+    stale: list[BaselineEntry]
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: Baseline) -> BaselineSplit:
+    matched: set[str] = set()
+    new: list[Finding] = []
+    accepted: list[tuple[Finding, BaselineEntry]] = []
+    for finding in findings:
+        entry = baseline.entries.get(finding.fingerprint)
+        if entry is None:
+            new.append(finding)
+        else:
+            matched.add(entry.fingerprint)
+            accepted.append((finding, entry))
+    reasonless = [
+        entry
+        for fingerprint, entry in sorted(baseline.entries.items())
+        if fingerprint in matched and not entry.reason.strip()
+    ]
+    stale = [
+        entry
+        for fingerprint, entry in sorted(baseline.entries.items())
+        if fingerprint not in matched
+    ]
+    return BaselineSplit(
+        new=new, accepted=accepted, reasonless=reasonless, stale=stale
+    )

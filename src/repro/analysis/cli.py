@@ -1,0 +1,131 @@
+"""``repro lint`` — the invariant linter's command-line front end.
+
+Also the implementation behind ``scripts/check_invariants.py`` (the CI
+gate): both call :func:`run_lint`.
+
+Exit codes: 0 clean, 1 findings or baseline problems (reasonless or
+stale entries), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineEntry,
+)
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with scripts)."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file of accepted findings "
+                             f"(default: ./{DEFAULT_BASELINE_NAME} "
+                             "when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        dest="json_path",
+                        help="also write the full report as JSON")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline to accept every "
+                             "current finding (reasons start empty and "
+                             "must be filled in before the gate passes)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-finding output; summary only")
+
+
+def _resolve_baseline(args: argparse.Namespace) -> tuple[Baseline, Path]:
+    default_path = Path(args.baseline or DEFAULT_BASELINE_NAME)
+    if args.no_baseline:
+        return Baseline.empty(), default_path
+    if default_path.exists():
+        return Baseline.load(default_path), default_path
+    if args.baseline is not None:
+        raise SystemExit(f"error: baseline file {default_path} not found")
+    return Baseline.empty(), default_path
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.summary}")
+        print(f"        enforces: {rule.invariant}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
+    baseline, baseline_path = _resolve_baseline(args)
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path(s): {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+    report = lint_paths(paths, baseline=baseline)
+    if args.write_baseline:
+        merged = {
+            entry.fingerprint: entry
+            for _, entry in report.baselined
+            if entry.reason.strip()
+        }
+        for finding in report.findings:
+            if finding.rule == "SUP002":
+                # Keep the reasonless entry so its (empty) reason is
+                # edited rather than silently recreated.
+                previous = baseline.entries.get(finding.fingerprint)
+                if previous is not None:
+                    merged[finding.fingerprint] = previous
+                continue
+            merged.setdefault(
+                finding.fingerprint,
+                BaselineEntry(
+                    fingerprint=finding.fingerprint,
+                    rule=finding.rule,
+                    path=finding.path,
+                    reason="",
+                ),
+            )
+        Baseline(entries=merged).save(baseline_path)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(merged)} entr(y/ies)); fill in every empty reason "
+            "before the gate will pass"
+        )
+        return 0
+    if args.json_path:
+        report.write_json(Path(args.json_path))
+    output = report.render_human()
+    if args.quiet:
+        output = output.splitlines()[-1]
+    print(output)
+    # Stale entries fail the gate too: the baseline must shrink as the
+    # findings it waives are fixed, or it stops being a ledger.
+    return 0 if report.ok and not report.stale_baseline else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="static determinism/isolation invariant linter",
+    )
+    configure_parser(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The ``# repro: allow[RULE-ID] reason`` suppression pragma.
+
+A pragma suppresses findings of the named rule(s) on its own line, or —
+when it is the only thing on its line — on the next non-blank source
+line.  The reason is mandatory: a bare ``# repro: allow[DET003]``
+suppresses nothing extra but *adds* a ``SUP001`` finding, so silent
+waivers cannot accumulate.  Multiple rules separate with commas:
+``# repro: allow[DET004,HRM002] cycle detection is process-local``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_,\s]*)\](?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression pragma."""
+
+    line: int  # 1-based line the pragma text sits on
+    applies_to: int  # 1-based line whose findings it suppresses
+    rules: tuple[str, ...]
+    reason: str
+
+    @property
+    def bare(self) -> bool:
+        return not self.reason
+
+
+def _next_code_line(lines: list[str], index: int) -> int:
+    """1-based first code line after 0-based ``index``.
+
+    Blank and comment-only lines are skipped, so a reason may continue
+    onto following comment lines without swallowing the suppression.
+    """
+    probe = index + 1
+    while probe < len(lines):
+        stripped = lines[probe].strip()
+        if stripped and not stripped.startswith("#"):
+            break
+        probe += 1
+    return probe + 1
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every suppression pragma from ``source``."""
+    lines = source.splitlines()
+    pragmas: list[Pragma] = []
+    for index, text in enumerate(lines):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            piece.strip().upper()
+            for piece in match.group("rules").split(",")
+            if piece.strip()
+        )
+        standalone = text[: match.start()].strip() == ""
+        pragmas.append(
+            Pragma(
+                line=index + 1,
+                applies_to=(
+                    _next_code_line(lines, index) if standalone else index + 1
+                ),
+                rules=rules,
+                reason=match.group("reason").strip(),
+            )
+        )
+    return pragmas
+
+
+def suppressions_for(pragmas: list[Pragma]) -> dict[int, list[Pragma]]:
+    """Map each suppressed line number to the pragmas covering it."""
+    table: dict[int, list[Pragma]] = {}
+    for pragma in pragmas:
+        table.setdefault(pragma.applies_to, []).append(pragma)
+    return table

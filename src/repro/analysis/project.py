@@ -1,0 +1,224 @@
+"""Project model: parsed modules plus the repro-internal import graph.
+
+Every rule consumes the same :class:`Project`: the set of modules under
+the lint roots (``lint_modules``) plus — so transitive import contracts
+can see the whole picture even when only a subtree is linted — every
+other module of any package the lint roots belong to
+(``context_modules``).  Files are parsed once, here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.pragmas import Pragma, parse_pragmas, suppressions_for
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path  # absolute
+    relpath: str  # repo/display-relative POSIX path
+    name: str | None  # dotted module name; None outside any package
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    pragmas: list[Pragma] = field(default_factory=list)
+    suppressions: dict[int, list[Pragma]] = field(default_factory=dict)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+def module_name_for(path: Path) -> str | None:
+    """Dotted module name, inferred from the ``__init__.py`` chain."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    seen_package = path.stem == "__init__"
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+        seen_package = True
+    if not seen_package:
+        return None
+    return ".".join(parts) if parts else None
+
+
+def parse_module(path: Path, display_root: Path) -> ModuleInfo | None:
+    """Parse one file; None when it is not valid Python."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, ValueError, OSError):
+        return None
+    try:
+        relpath = path.relative_to(display_root).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    pragmas = parse_pragmas(source)
+    return ModuleInfo(
+        path=path,
+        relpath=relpath,
+        name=module_name_for(path),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        pragmas=pragmas,
+        suppressions=suppressions_for(pragmas),
+    )
+
+
+def _package_root(path: Path) -> Path | None:
+    """Topmost package directory containing ``path``, if any."""
+    parent = path.parent
+    root = None
+    while (parent / "__init__.py").exists():
+        root = parent
+        parent = parent.parent
+    return root
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(p.resolve() for p in found)
+
+
+@dataclass
+class Project:
+    """Everything the rules need, parsed once."""
+
+    lint_modules: list[ModuleInfo]
+    context_modules: list[ModuleInfo]
+    display_root: Path
+
+    def __post_init__(self) -> None:
+        self.by_name: dict[str, ModuleInfo] = {}
+        for module in [*self.context_modules, *self.lint_modules]:
+            if module.name:
+                self.by_name[module.name] = module
+        self._imports: dict[str, list[tuple[str, int]]] | None = None
+
+    @classmethod
+    def build(cls, paths: list[Path],
+              display_root: Path | None = None) -> "Project":
+        root = (display_root or Path.cwd()).resolve()
+        lint_files = discover_files(paths)
+        lint_set = set(lint_files)
+        # Pull in the rest of any package a linted file belongs to, so
+        # import contracts see edges that originate outside the lint
+        # subtree (e.g. `repro lint src/repro/differential/`).
+        context_files: set[Path] = set()
+        for pkg_root in sorted({
+            root_dir
+            for file in lint_files
+            if (root_dir := _package_root(file)) is not None
+        }):
+            context_files.update(
+                p.resolve()
+                for p in pkg_root.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        context_files -= lint_set
+        lint_modules = [
+            m for f in lint_files if (m := parse_module(f, root)) is not None
+        ]
+        context_modules = [
+            m
+            for f in sorted(context_files)
+            if (m := parse_module(f, root)) is not None
+        ]
+        return cls(lint_modules, context_modules, root)
+
+    # -- import graph ---------------------------------------------------------
+
+    def _resolve_from(self, module: ModuleInfo,
+                      node: ast.ImportFrom) -> list[str]:
+        """Absolute targets of one ``from … import …`` statement."""
+        if node.level:  # relative import
+            if not module.name:
+                return []
+            parts = module.name.split(".")
+            # level 1 from inside repro/bgp/x.py means package repro.bgp
+            base_parts = parts[: len(parts) - node.level]
+            if module.path.name == "__init__.py":
+                base_parts = parts[: len(parts) - node.level + 1]
+            base = ".".join(base_parts)
+        else:
+            base = node.module or ""
+        prefix = f"{base}.{node.module}" if node.level and node.module else base
+        targets = []
+        for alias in node.names:
+            # `from repro.bgp import attributes` names the submodule
+            # when one exists, else the attribute lives in the package.
+            candidate = f"{prefix}.{alias.name}" if prefix else alias.name
+            targets.append(
+                candidate if candidate in self.by_name else prefix or alias.name
+            )
+        return targets
+
+    @property
+    def imports(self) -> dict[str, list[tuple[str, int]]]:
+        """module name -> [(imported module name, line), …]."""
+        if self._imports is None:
+            graph: dict[str, list[tuple[str, int]]] = {}
+            for module in self.by_name.values():
+                edges: list[tuple[str, int]] = []
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.Import):
+                        edges.extend(
+                            (alias.name, node.lineno) for alias in node.names
+                        )
+                    elif isinstance(node, ast.ImportFrom):
+                        edges.extend(
+                            (target, node.lineno)
+                            for target in self._resolve_from(module, node)
+                        )
+                graph[module.name or ""] = edges
+            self._imports = graph
+        return self._imports
+
+    def reachable_modules(self, roots: list[str]) -> dict[str, tuple[str, int]]:
+        """Project modules transitively imported from ``roots``.
+
+        Returns ``{module: (imported_by, line)}`` — the first discovered
+        import edge, for error messages; roots map to themselves.
+        """
+        seen: dict[str, tuple[str, int]] = {
+            root: (root, 0) for root in roots if root in self.by_name
+        }
+        frontier = list(seen)
+        while frontier:
+            current = frontier.pop()
+            for target, line in self.imports.get(current, []):
+                resolved = self._resolve_to_known(target)
+                if resolved and resolved not in seen:
+                    seen[resolved] = (current, line)
+                    frontier.append(resolved)
+        return seen
+
+    def _resolve_to_known(self, target: str) -> str | None:
+        """Map an import target onto a parsed module, package-aware."""
+        if target in self.by_name:
+            return target
+        # `import repro.bgp.attributes as x` resolves exactly; a parent
+        # package import (`import repro.bgp`) maps to its __init__.
+        parts = target.split(".")
+        while parts:
+            candidate = ".".join(parts)
+            if candidate in self.by_name:
+                return candidate
+            parts.pop()
+        return None

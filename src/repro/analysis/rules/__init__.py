@@ -1,0 +1,11 @@
+"""Rule modules; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    determinism,
+    hermeticity,
+    isolation,
+    suppressions,
+    wire,
+)

@@ -1,0 +1,129 @@
+"""ISO001: declarative per-module import contracts, checked transitively.
+
+Generalizes the original one-off AST allowlist test for
+``repro.differential.reference`` (PR 7) into a registry of
+:class:`~repro.analysis.contracts.ImportContract` entries covering the
+oracle, the concolic engine, the BGP model, util and the analysis
+package itself.  Violations are anchored at the import statement that
+creates the offending edge, with the reachability chain in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis import contracts
+from repro.analysis.astutil import module_prefix_match
+from repro.analysis.contracts import ImportContract
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import register
+
+
+def _matches_any(module: str, patterns: tuple[str, ...]) -> bool:
+    return any(module_prefix_match(module, p) for p in patterns)
+
+
+def _contract_roots(contract: ImportContract,
+                    project: Project) -> list[str]:
+    return sorted(
+        name
+        for name in project.by_name
+        if _matches_any(name, contract.roots)
+    )
+
+
+def _import_line(project: Project, importer: str, target: str) -> int:
+    for name, line in project.imports.get(importer, []):
+        if project._resolve_to_known(name) == target or name == target:
+            return line
+    return 1
+
+
+def _chain(reached: dict[str, tuple[str, int]], module: str) -> str:
+    """Render the import chain root -> … -> module."""
+    links = [module]
+    current = module
+    while True:
+        parent, _ = reached[current]
+        if parent == current:
+            break
+        links.append(parent)
+        current = parent
+    return " -> ".join(reversed(links))
+
+
+@register
+class ImportContractRule:
+    id = "ISO001"
+    summary = "module imports outside its declared import contract"
+    invariant = "oracle independence / layer isolation"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        lint_names = {m.name for m in project.lint_modules if m.name}
+        for contract in contracts.IMPORT_CONTRACTS:
+            roots = _contract_roots(contract, project)
+            if not roots:
+                continue
+            yield from self._check_direct(contract, roots, project,
+                                          lint_names)
+            yield from self._check_closure(contract, roots, project,
+                                           lint_names)
+
+    def _check_direct(self, contract: ImportContract, roots: list[str],
+                      project: Project,
+                      lint_names: set[str]) -> Iterable[Finding]:
+        if not contract.allow_direct:
+            return
+        allowed = contract.allow_direct + tuple(roots)
+        for root in roots:
+            module = project.by_name[root]
+            for target, line in project.imports.get(root, []):
+                if not target.startswith("repro"):
+                    continue
+                if _matches_any(target, allowed):
+                    continue
+                yield self._finding(
+                    module, line,
+                    f"[{contract.name}] {root} imports {target}, outside "
+                    f"its direct-import allowlist — {contract.rationale}",
+                )
+
+    def _check_closure(self, contract: ImportContract, roots: list[str],
+                       project: Project,
+                       lint_names: set[str]) -> Iterable[Finding]:
+        if not (contract.allow_transitive or contract.forbid):
+            return
+        reached = project.reachable_modules(roots)
+        for target in sorted(reached):
+            if target in roots or not target.startswith("repro"):
+                continue
+            importer, line = reached[target]
+            forbidden = _matches_any(target, contract.forbid)
+            outside_allow = contract.allow_transitive and not _matches_any(
+                target, contract.allow_transitive + tuple(contract.roots)
+            )
+            if not (forbidden or outside_allow):
+                continue
+            # Anchor at the importing module when it is being linted,
+            # else at the contract root so a subtree lint still reports.
+            anchor_name = importer if importer in lint_names else roots[0]
+            anchor = project.by_name[anchor_name]
+            anchor_line = line if anchor_name == importer else 1
+            kind = "forbidden" if forbidden else "outside the allowlist"
+            yield self._finding(
+                anchor, anchor_line,
+                f"[{contract.name}] {target} is {kind} but reachable: "
+                f"{_chain(reached, target)} — {contract.rationale}",
+            )
+
+    @staticmethod
+    def _finding(module: ModuleInfo, line: int, message: str) -> Finding:
+        return Finding(
+            rule="ISO001",
+            path=module.relpath,
+            line=line,
+            col=0,
+            message=message,
+            line_text=module.line_text(line),
+        )

@@ -1,0 +1,241 @@
+"""WIRE001: every socket write goes through the CRC framing codec.
+
+PR 5 added a CRC-32 to the frame header precisely so wire corruption is
+a named error instead of silently-different results; a raw
+``sock.sendall(pickle.dumps(...))`` bypasses that and reopens the
+corrupted-frame hole the hypothesis suite caught.  Two checks:
+
+* outside :data:`~repro.analysis.contracts.WIRE_MODULES`, importing
+  ``socket`` at all is a finding — transports live behind the codec;
+* inside them, a ``send``/``sendall`` on a socket-typed value must be
+  fed by :data:`~repro.analysis.contracts.FRAME_ENCODER` (directly or
+  via a local assigned from it), never by a raw pickle.
+
+Socket-typedness is inferred locally: parameters and variables
+annotated ``socket.socket``, values returned by functions annotated
+``-> socket.socket``, and ``self`` attributes assigned from either.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis import contracts
+from repro.analysis.astutil import import_aliases, qualified_call_name
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import register
+
+_SOCKET_FACTORIES = frozenset({
+    "socket.create_connection", "socket.create_server", "socket.socket",
+})
+
+
+def _finding(module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+    line = getattr(node, "lineno", 1)
+    return Finding(
+        rule="WIRE001",
+        path=module.relpath,
+        line=line,
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        line_text=module.line_text(line),
+    )
+
+
+def _is_socket_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == "socket"
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "socket"
+    if isinstance(annotation, ast.Constant):
+        return isinstance(annotation.value, str) and "socket" in annotation.value
+    if isinstance(annotation, ast.BinOp):  # socket.socket | None
+        return _is_socket_annotation(annotation.left) or _is_socket_annotation(
+            annotation.right
+        )
+    return False
+
+
+class _SocketTyping:
+    """Which names and self-attributes hold sockets.
+
+    Attribute types (``self._sock``) are module-wide — a class assigns
+    the socket in ``__init__`` and writes to it elsewhere — but plain
+    *names* are typed per function, so a ``conn: socket.socket``
+    parameter in one function cannot taint an unrelated ``conn`` (say,
+    a framing-aware connection object) in another.
+    """
+
+    def __init__(self, module: ModuleInfo, aliases: dict[str, str]):
+        self.aliases = aliases
+        self.socket_returning: set[str] = set()
+        self.socket_attrs: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_socket_annotation(node.returns):
+                    self.socket_returning.add(node.name)
+            elif isinstance(node, ast.AnnAssign) and _is_socket_annotation(
+                node.annotation
+            ):
+                if isinstance(node.target, ast.Attribute):
+                    self.socket_attrs.add(node.target.attr)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not self._value_is_socket(node.value):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    self.socket_attrs.add(target.attr)
+
+    def local_socket_names(self, func: ast.AST) -> set[str]:
+        """Names holding sockets within one function scope."""
+        names: set[str] = set()
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in [*func.args.args, *func.args.kwonlyargs]:
+                if _is_socket_annotation(arg.annotation):
+                    names.add(arg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.AnnAssign) and _is_socket_annotation(
+                node.annotation
+            ):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.Assign) and self._value_is_socket(
+                node.value
+            ):
+                names.update(
+                    target.id
+                    for target in node.targets
+                    if isinstance(target, ast.Name)
+                )
+        return names
+
+    def _value_is_socket(self, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        name = qualified_call_name(value.func, self.aliases)
+        if name in _SOCKET_FACTORIES:
+            return True
+        return (
+            name is not None and name.split(".")[-1] in self.socket_returning
+        )
+
+    def is_socket(self, node: ast.expr, local_names: set[str]) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in local_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.socket_attrs
+        return False
+
+
+def _encoder_locals(func: ast.AST) -> set[str]:
+    """Local names assigned (only) from the frame encoder."""
+    blessed: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        is_encoded = (
+            isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == contracts.FRAME_ENCODER
+        )
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if is_encoded:
+                blessed.add(target.id)
+            else:
+                blessed.discard(target.id)  # rebound to something else
+    return blessed
+
+
+@register
+class RawSocketSend:
+    id = "WIRE001"
+    summary = "socket I/O bypassing the CRC framing codec"
+    invariant = "frame integrity (failure model: CRC-caught corruption)"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.lint_modules:
+            if module.name in contracts.WIRE_MODULES:
+                yield from self._check_codec_module(module)
+            elif module.name and module.name.startswith("repro."):
+                yield from self._check_outsider(module)
+
+    def _check_outsider(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            imported = None
+            if isinstance(node, ast.Import):
+                imported = next(
+                    (a.name for a in node.names if a.name == "socket"), None
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "socket":
+                imported = "socket"
+            if imported:
+                yield _finding(
+                    module, node,
+                    "socket imported outside the framing codec module "
+                    f"({', '.join(contracts.WIRE_MODULES)}); all wire "
+                    "traffic must go through the CRC frame codec",
+                )
+
+    def _check_codec_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        typing_info = _SocketTyping(module, aliases)
+        functions = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for func in functions:
+            blessed = _encoder_locals(func)
+            local_names = typing_info.local_socket_names(func)
+            for node in func.body:
+                yield from self._scan_sends(module, node, typing_info,
+                                            blessed, local_names)
+
+    def _scan_sends(self, module: ModuleInfo, root: ast.AST,
+                    typing_info: _SocketTyping,
+                    blessed: set[str],
+                    local_names: set[str]) -> Iterable[Finding]:
+        # Shallow walk: nested functions are scanned as their own
+        # scope, with their own encoder-blessed locals.
+        stack: list[ast.AST] = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            yield from self._check_send_node(module, node, typing_info,
+                                             blessed, local_names)
+
+    def _check_send_node(self, module: ModuleInfo, node: ast.AST,
+                         typing_info: _SocketTyping,
+                         blessed: set[str],
+                         local_names: set[str]) -> Iterable[Finding]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("send", "sendall")
+            and typing_info.is_socket(node.func.value, local_names)
+            and node.args
+        ):
+            return
+        arg = node.args[0]
+        ok = (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Name)
+            and arg.func.id == contracts.FRAME_ENCODER
+        ) or (isinstance(arg, ast.Name) and arg.id in blessed)
+        if not ok:
+            yield _finding(
+                module, node,
+                f"socket {node.func.attr}() whose payload is not "
+                f"{contracts.FRAME_ENCODER}(...): raw writes bypass "
+                "the length-prefix + CRC framing",
+            )

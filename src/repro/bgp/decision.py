@@ -46,6 +46,8 @@ _ACTIVE_MUTATIONS: frozenset[str] = frozenset()
 @contextmanager
 def mutation(name: str):
     """Enable a named decision-process mutation for the ``with`` body."""
+    # repro: allow[HRM002] test-only mutation hook; campaigns never enter
+    # this context manager inside a worker, and the finally restores it
     global _ACTIVE_MUTATIONS
     previous = _ACTIVE_MUTATIONS
     _ACTIVE_MUTATIONS = previous | {name}

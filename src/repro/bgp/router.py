@@ -656,7 +656,10 @@ class BGPRouter(Process):
         self.config = change.apply(self.config)
         self._trace("config_change", change=change.describe())
         new_networks = set(self.config.networks)
-        dirty = [p for p in old_networks.symmetric_difference(new_networks)]
+        # Sorted: set iteration order is salted-hash order, and dirty
+        # feeds the decision/propagation sequence — message ordering
+        # must not vary across processes (DET001).
+        dirty = sorted(old_networks.symmetric_difference(new_networks))
         # Filter changes can affect every prefix; re-run decision broadly.
         if not dirty:
             dirty = list(

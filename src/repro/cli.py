@@ -8,7 +8,10 @@ Four subcommands cover the operator-facing workflows:
 * ``remote-worker`` — run a long-lived exploration worker daemon that
   ``campaign --transport socket`` dispatches tasks to;
 * ``offline-parser`` — run the offline message-parser harness;
-* ``topology`` — print a topology's tier map (Figure 1's static half).
+* ``topology`` — print a topology's tier map (Figure 1's static half);
+* ``lint`` — run the static invariant linter (determinism, import
+  isolation, worker hermeticity, wire-protocol hygiene) over a source
+  tree.
 
 Examples::
 
@@ -19,6 +22,7 @@ Examples::
         --remote-workers 127.0.0.1:7411,127.0.0.1:7412
     python -m repro offline-parser --budget 500
     python -m repro topology --topology demo27
+    python -m repro lint src --json /tmp/lint.json
 """
 
 from __future__ import annotations
@@ -136,6 +140,14 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         return 0
     print(render_topology(topology))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Local import: the linter is pure stdlib-ast and must stay
+    # importable without (and independent of) the runtime packages.
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 def _positive_int(text: str) -> int:
@@ -268,6 +280,15 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=_BUILTIN_TOPOLOGIES)
     topo.add_argument("--seed", type=int, default=0)
     topo.set_defaults(handler=_cmd_topology)
+
+    from repro.analysis.cli import configure_parser as _configure_lint
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the static invariant linter (DET/ISO/HRM/WIRE rules)",
+    )
+    _configure_lint(lint)
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

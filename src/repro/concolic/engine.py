@@ -280,7 +280,8 @@ class ConcolicEngine:
                 else frontier.split(plan.count)
             )
             stop = False
-            for shard, shard_budget in zip(shards, plan.budgets):
+            for shard, shard_budget in zip(shards, plan.budgets,
+                                           strict=True):
                 shard_result = self.run_shard(shard, shard_budget)
                 self._absorb_shard_result(total, shard_result)
                 if shard_result.crashes and spec.stop_on_first_crash:

@@ -60,6 +60,8 @@ def _fp_name(name: str) -> int:
             hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest(),
             "big",
         )
+        # repro: allow[HRM002] content-addressed memo: the stored value
+        # is a pure function of the key, so replay order cannot differ
         _FP_NAMES[name] = digest
     return digest
 

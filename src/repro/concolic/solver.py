@@ -150,7 +150,7 @@ class CacheDelta:
     def __setstate__(self, state):
         for name, value in zip(
                 ("node", "base_generation", "packed_events", "count"),
-                state):
+                state, strict=True):
             object.__setattr__(self, name, value)
 
     def __len__(self) -> int:

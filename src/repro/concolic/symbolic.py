@@ -72,10 +72,13 @@ class PathRecorder:
     def __enter__(self) -> "PathRecorder":
         if _active_recorder() is not None:
             raise RuntimeError("nested PathRecorder")
+        # repro: allow[HRM002] thread-local recording context, scoped to
+        # one with-block per exploration; never outlives the task
         _ACTIVE.recorder = self
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # repro: allow[HRM002] restores the thread-local cleared above
         _ACTIVE.recorder = None
 
 

@@ -57,9 +57,11 @@ def checkpoint_size(checkpoint: NodeCheckpoint) -> int:
     seen: set[int] = set()
 
     def sizeof(obj: Any) -> int:
+        # repro: allow[DET004] intra-process cycle detection for a size
+        # estimate; the ids are never serialized or compared cross-run
         if id(obj) in seen:
             return 0
-        seen.add(id(obj))
+        seen.add(id(obj))  # repro: allow[DET004] same cycle-detection set
         total = sys.getsizeof(obj)
         if isinstance(obj, dict):
             for key, value in obj.items():

@@ -408,7 +408,7 @@ class Explorer:
         seen_paths = set()
         seen_constraints = set()
         seen_shapes = set()
-        for index in range(budget):
+        for _ in range(budget):
             generated = grammar.generate()
             execution = engine.run_once(generated.symbolic(prefix="u"))
             result.executions += 1

@@ -281,6 +281,9 @@ _WORKER_REPLICAS = ReplicaStore()
 
 def _replica_for(sync: CacheSync) -> SolverCache:
     """The process-global replica for one node, synced to the task."""
+    # repro: allow[HRM002] warm-replica cache keyed by sync token; a miss
+    # rebuilds deterministically from the task's event log, so the store
+    # only changes latency, never results
     return _WORKER_REPLICAS.replica_for(sync)
 
 
@@ -393,8 +396,11 @@ class SolverCacheCoordinator:
         # pid:counter alone could repeat after OS PID recycling, and a
         # long-lived remote worker daemon rescopes its warm replicas by
         # token inequality — so make tokens globally unique.
+        # The token is an identity, never an input: it scopes warm
+        # replicas and appears in no task outcome, and uniqueness
+        # across PID recycling requires real entropy.
         self.token = (
-            f"{os.getpid()}:{next(_SYNC_TOKENS)}:{uuid.uuid4().hex[:12]}"
+            f"{os.getpid()}:{next(_SYNC_TOKENS)}:{uuid.uuid4().hex[:12]}"  # repro: allow[HRM002,DET003] identity only, see above
         )
         self._nodes = list(nodes)
         self._max_entries = max_entries

@@ -320,6 +320,10 @@ class WorkerServer:
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._accept_thread: threading.Thread | None = None
+        # Client keys for RemoteWorkerState: a counter, not id(conn) —
+        # CPython recycles object addresses, so a released connection's
+        # id could collide with a later one's and adopt its claims.
+        self._client_keys = itertools.count(1)
 
     def start(self) -> "WorkerServer":
         """Serve on a background thread (tests, embedded workers)."""
@@ -353,7 +357,7 @@ class WorkerServer:
             self._threads.append(thread)
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        client = id(conn)
+        client = next(self._client_keys)
         try:
             while not self._stop.is_set():
                 received = recv_message(conn)

@@ -165,6 +165,9 @@ class SnapshotCoordinator:
         ]
         self.snapshots_taken += 1
         return Snapshot(
+            # repro: allow[HRM002] ids are minted only on the
+            # orchestrator's serial capture path; workers receive
+            # snapshots ready-made and never call this
             snapshot_id=_snapshot_ids.next(),
             initiator=initiator,
             taken_at=now,
@@ -220,6 +223,7 @@ class _MarkerSession:
     def __init__(self, network: Network, initiator: str):
         self._network = network
         self._initiator = initiator
+        # repro: allow[HRM002] orchestrator-only serial capture path
         self._id = _snapshot_ids.next()
         self._taken_at = network.sim.now
         self._completed_at: float | None = None

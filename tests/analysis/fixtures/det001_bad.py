@@ -1,0 +1,13 @@
+"""DET001 fixture: set iteration order escaping into ordered output."""
+
+
+def report(names: set) -> list:
+    rows = []
+    for name in names:
+        rows.append(name)
+    return rows
+
+
+def csv() -> str:
+    tags = {"a", "b", "c"}
+    return ",".join(tags)

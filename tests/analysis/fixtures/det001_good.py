@@ -1,0 +1,13 @@
+"""DET001 fixture: sets consumed sorted or order-insensitively."""
+
+
+def report(names: set) -> list:
+    return [name for name in sorted(names)]
+
+
+def count(names: set) -> int:
+    return len(names)
+
+
+def merged(a: set, b: set) -> list:
+    return sorted(a | b)

@@ -1,0 +1,15 @@
+"""DET002 fixture: filesystem listings in filesystem order."""
+
+import glob
+import os
+
+
+def entries(path):
+    out = []
+    for name in os.listdir(path):
+        out.append(name)
+    return out
+
+
+def configs(pattern):
+    return list(glob.glob(pattern))

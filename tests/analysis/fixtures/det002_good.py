@@ -1,0 +1,7 @@
+"""DET002 fixture: listings wrapped in sorted()."""
+
+import os
+
+
+def entries(path):
+    return sorted(os.listdir(path))

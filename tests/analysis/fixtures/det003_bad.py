@@ -1,0 +1,17 @@
+"""DET003 fixture: raw entropy and wall clock."""
+
+import random
+import time
+import uuid
+
+
+def jitter() -> float:
+    return random.random() + time.time()
+
+
+def token() -> str:
+    return uuid.uuid4().hex
+
+
+def unseeded() -> random.Random:
+    return random.Random()

@@ -1,0 +1,7 @@
+"""DET003 fixture: randomness derived from an explicit seed."""
+
+import random
+
+
+def rng_for(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,9 @@
+"""DET004 fixture: process-local identity feeding keys."""
+
+
+def cache_key(obj) -> int:
+    return id(obj)
+
+
+def bucket(name: str) -> int:
+    return hash(name) % 8

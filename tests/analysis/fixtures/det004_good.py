@@ -1,0 +1,12 @@
+"""DET004 fixture: hash() only inside the __hash__/__eq__ protocol."""
+
+
+class Point:
+    def __init__(self, x: int):
+        self.x = x
+
+    def __hash__(self) -> int:
+        return hash(("point", self.x))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Point) and hash(self) == hash(other)

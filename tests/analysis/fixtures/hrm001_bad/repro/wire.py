@@ -1,0 +1,16 @@
+"""HRM001 fixture: wire shapes that cannot (safely) pickle."""
+
+import socket
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    index: int
+    conn: socket.socket
+    scratch = []
+
+
+class Outcome:
+    def __init__(self, ok: bool):
+        self.ok = ok

@@ -1,0 +1,11 @@
+"""HRM001 fixture: a clean field-annotated wire dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    index: int
+    payload: bytes
+    node: str
+    kind = "task"

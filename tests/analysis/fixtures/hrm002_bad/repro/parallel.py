@@ -1,0 +1,7 @@
+"""Worker entry point: hermetic itself, but imports leaky state."""
+
+from repro import state
+
+
+def run_task(task) -> int:
+    return state.bump(task)

@@ -1,0 +1,20 @@
+"""Module-level mutable state, reached transitively from the worker."""
+
+import os
+
+_CALLS: list = []
+_TOTAL = 0
+
+
+def bump(task) -> int:
+    _CALLS.append(task)
+    return len(_CALLS)
+
+
+def reset() -> None:
+    global _TOTAL
+    _TOTAL = 0
+
+
+def mode() -> str | None:
+    return os.environ.get("MODE")

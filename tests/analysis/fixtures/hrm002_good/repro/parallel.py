@@ -1,0 +1,7 @@
+"""Worker entry point keeping every bit of state task-local."""
+
+
+def run_task(task) -> dict:
+    scratch: dict = {}
+    scratch[task] = 1
+    return scratch

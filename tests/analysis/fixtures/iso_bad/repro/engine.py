@@ -1,0 +1,5 @@
+"""The machinery the oracle must never reach."""
+
+
+def decide() -> str:
+    return "best-path"

@@ -1,0 +1,7 @@
+"""Innocent-looking middle hop: pulls the engine in transitively."""
+
+from repro import engine
+
+
+def describe() -> str:
+    return engine.decide()

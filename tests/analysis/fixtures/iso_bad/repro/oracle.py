@@ -1,0 +1,7 @@
+"""Oracle that only imports the allowed helper — but the helper leaks."""
+
+from repro import helper
+
+
+def verdict() -> str:
+    return helper.describe()

@@ -1,0 +1,5 @@
+"""Self-contained helper."""
+
+
+def describe() -> str:
+    return "ok"

@@ -1,0 +1,7 @@
+"""Oracle importing only the allowed helper."""
+
+from repro import helper
+
+
+def verdict() -> str:
+    return helper.describe()

@@ -1,0 +1,11 @@
+"""SUP001 fixture: suppressions without justification."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: allow[DET003]
+
+
+def mystery() -> int:
+    return 1  # repro: allow[ZZZ999] rule id does not exist

@@ -1,0 +1,7 @@
+"""Suppression fixture: a reasoned pragma waives one finding."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: allow[DET003] wall-clock display only

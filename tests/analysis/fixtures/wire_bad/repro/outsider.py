@@ -1,0 +1,7 @@
+"""WIRE001 fixture: sockets outside the codec module."""
+
+import socket
+
+
+def probe(host: str):
+    return socket.create_connection((host, 80))

@@ -1,0 +1,12 @@
+"""WIRE001 fixture: a raw pickle write next to the codec."""
+
+import pickle
+import socket
+
+
+def encode_frame(payload) -> bytes:
+    return b"\x00" + pickle.dumps(payload)
+
+
+def push(sock: socket.socket, payload) -> None:
+    sock.sendall(pickle.dumps(payload))

@@ -1,0 +1,17 @@
+"""WIRE001 fixture: every write goes through the frame encoder."""
+
+import pickle
+import socket
+
+
+def encode_frame(payload) -> bytes:
+    return b"\x00" + pickle.dumps(payload)
+
+
+def push(sock: socket.socket, payload) -> None:
+    frame = encode_frame(payload)
+    sock.sendall(frame)
+
+
+def push_inline(sock: socket.socket, payload) -> None:
+    sock.sendall(encode_frame(payload))

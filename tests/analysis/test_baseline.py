@@ -1,0 +1,155 @@
+"""Suppression-pragma semantics and baseline round-trips."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import lint_paths
+from repro.analysis.findings import finding_fingerprint
+from repro.analysis.pragmas import parse_pragmas
+
+BAD_SOURCE = '''"""Fixture written to tmp_path: two DET003 findings."""
+
+import time
+
+
+def first() -> float:
+    return time.time()
+
+
+def second() -> float:
+    return time.time()
+'''
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "clocky.py"
+    path.write_text(BAD_SOURCE)
+    return path
+
+
+class TestPragmaParsing:
+    def test_inline_pragma_applies_to_its_own_line(self):
+        pragmas = parse_pragmas(
+            "x = 1\ny = time.time()  # repro: allow[DET003] startup stamp\n"
+        )
+        assert len(pragmas) == 1
+        assert pragmas[0].applies_to == 2
+        assert pragmas[0].rules == ("DET003",)
+        assert pragmas[0].reason == "startup stamp"
+
+    def test_standalone_pragma_applies_to_next_code_line(self):
+        pragmas = parse_pragmas(
+            "# repro: allow[HRM002] reason part one\n"
+            "# and a continuation comment line\n"
+            "\n"
+            "STATE = {}\n"
+        )
+        assert pragmas[0].applies_to == 4
+
+    def test_multiple_rules_and_case_normalisation(self):
+        pragmas = parse_pragmas("x = 1  # repro: allow[det003, hrm002] why\n")
+        assert pragmas[0].rules == ("DET003", "HRM002")
+
+    def test_bare_pragma_has_no_reason(self):
+        pragmas = parse_pragmas("x = 1  # repro: allow[DET003]\n")
+        assert pragmas[0].bare
+
+
+class TestFingerprints:
+    def test_fingerprint_is_line_number_independent(self):
+        a = finding_fingerprint("DET003", "m.py", "return time.time()", 0)
+        b = finding_fingerprint("DET003", "m.py", "return time.time()", 0)
+        assert a == b
+        # Same text elsewhere in the file is a distinct occurrence.
+        c = finding_fingerprint("DET003", "m.py", "return time.time()", 1)
+        assert c != a
+
+    def test_moving_a_finding_keeps_its_fingerprint(self, tmp_path):
+        path = tmp_path / "clocky.py"
+        path.write_text(BAD_SOURCE)
+        before = lint_paths([path]).findings
+        # Push the whole file down: line numbers change, text does not.
+        path.write_text("# a new leading comment\n\n" + BAD_SOURCE)
+        after = lint_paths([path]).findings
+        assert [f.fingerprint for f in before] == [
+            f.fingerprint for f in after
+        ]
+        assert [f.line for f in before] != [f.line for f in after]
+
+
+class TestBaselineRoundTrip:
+    def test_accept_save_reload_accept(self, bad_file, tmp_path):
+        report = lint_paths([bad_file])
+        det = [f for f in report.findings if f.rule == "DET003"]
+        assert len(det) == 2
+
+        baseline = Baseline.from_findings(det, reason="legacy clock use")
+        baseline_path = tmp_path / "baseline.json"
+        baseline.save(baseline_path)
+
+        reloaded = Baseline.load(baseline_path)
+        gated = lint_paths([bad_file], baseline=reloaded)
+        assert gated.ok
+        assert len(gated.baselined) == 2
+        assert all(e.reason == "legacy clock use" for _, e in gated.baselined)
+        assert not gated.stale_baseline
+
+    def test_reasonless_entry_is_a_sup002_finding(self, bad_file):
+        report = lint_paths([bad_file])
+        baseline = Baseline.from_findings(report.findings, reason="")
+        gated = lint_paths([bad_file], baseline=baseline)
+        assert not gated.ok
+        assert {f.rule for f in gated.findings} == {"SUP002"}
+        assert all("no reason" in f.message for f in gated.findings)
+
+    def test_fixed_finding_reports_the_entry_as_stale(self, bad_file):
+        report = lint_paths([bad_file])
+        baseline = Baseline.from_findings(report.findings, reason="legacy")
+        bad_file.write_text('"""All fixed."""\n\nVALUE = 1\n')
+        gated = lint_paths([bad_file], baseline=baseline)
+        assert gated.ok
+        assert len(gated.stale_baseline) == 2
+        assert "stale baseline" in gated.render_human()
+
+    def test_version_mismatch_is_loud(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_save_is_deterministically_ordered(self, tmp_path):
+        entries = {
+            "bbb": BaselineEntry("bbb", "DET003", "z.py", "why"),
+            "aaa": BaselineEntry("aaa", "DET001", "a.py", "why"),
+        }
+        path = tmp_path / "baseline.json"
+        Baseline(entries=entries).save(path)
+        text = path.read_text()
+        assert text.index('"a.py"') < text.index('"z.py"')
+
+
+class TestReportShapes:
+    def test_json_report_shape(self, bad_file, tmp_path):
+        report = lint_paths([bad_file])
+        out = tmp_path / "report.json"
+        report.write_json(out)
+        import json
+
+        data = json.loads(out.read_text())
+        assert data["version"] == 1
+        assert data["ok"] is False
+        assert data["files_checked"] == 1
+        assert {f["rule"] for f in data["findings"]} == {"DET003"}
+        for finding in data["findings"]:
+            assert {"rule", "path", "line", "message", "fingerprint"} <= set(
+                finding
+            )
+
+    def test_human_report_has_line_text_and_summary(self, bad_file):
+        text = lint_paths([bad_file]).render_human()
+        assert "time.time()" in text
+        assert text.strip().endswith("1 file(s) checked")
+        assert "FAIL —" in text

@@ -1,0 +1,123 @@
+"""The lint gate end to end: self-check, CLI, and the negative smoke.
+
+The negative smoke test is the gate's own integrity check: inject a
+violation into a scratch copy of the tree and assert
+``scripts/check_invariants.py`` actually fails — a gate that cannot
+fail is decoration, not CI.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis.engine import lint_paths
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GATE = REPO_ROOT / "scripts" / "check_invariants.py"
+SRC_REPRO = Path(repro.__file__).parent
+
+
+class TestSelfCheck:
+    def test_linter_is_clean_on_its_own_package(self):
+        report = lint_paths([SRC_REPRO / "analysis"])
+        assert report.ok, report.render_human()
+        # And clean without leaning on waivers: the linter holds itself
+        # to the strictest reading of its own rules.
+        assert not report.suppressed
+        assert not report.baselined
+
+    def test_committed_baseline_entries_all_carry_reasons(self):
+        data = json.loads(
+            (REPO_ROOT / "invariants-baseline.json").read_text()
+        )
+        assert data["version"] == 1
+        for entry in data["entries"]:
+            assert entry["reason"].strip(), entry
+
+
+class TestLintCli:
+    def test_lint_subcommand_is_wired(self):
+        args = build_parser().parse_args(["lint", "--list-rules"])
+        assert args.handler is not None
+        assert args.list_rules
+
+    def test_lint_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        code = main(["lint", str(tmp_path), "--no-baseline"])
+        assert code == 0
+        assert "OK —" in capsys.readouterr().out
+
+    def test_lint_dirty_tree_exits_one_and_writes_json(self, tmp_path,
+                                                       capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\n\n\ndef f():\n    return time.time()\n"
+        )
+        out = tmp_path / "report.json"
+        code = main([
+            "lint", str(tmp_path), "--no-baseline", "--json", str(out),
+        ])
+        assert code == 1
+        assert "DET003" in capsys.readouterr().out
+        assert json.loads(out.read_text())["ok"] is False
+
+    def test_lint_missing_path_exits_two(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope"), "--no-baseline"]) == 2
+
+    def test_stale_baseline_entry_fails_the_gate(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "fingerprint": "deadbeefdeadbeef",
+                "rule": "DET003",
+                "path": "ok.py",
+                "reason": "fixed long ago; entry should have been pruned",
+            }],
+        }))
+        code = main(["lint", str(tmp_path), "--baseline", str(baseline)])
+        assert code == 1
+        assert "stale baseline" in capsys.readouterr().out
+
+
+class TestGateScript:
+    def run_gate(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(GATE), *argv],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+
+    def test_gate_passes_on_the_committed_tree(self, tmp_path):
+        artifact = tmp_path / "report.json"
+        proc = self.run_gate("--json", str(artifact))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert json.loads(artifact.read_text())["ok"] is True
+
+    def test_gate_fails_on_an_injected_violation(self, tmp_path):
+        """Negative smoke: doctor a copy, assert the gate goes red."""
+        copy = tmp_path / "repro"
+        shutil.copytree(SRC_REPRO, copy,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        victim = copy / "bgp" / "ip.py"
+        victim.write_text(
+            victim.read_text()
+            + "\n\ndef _smoke_injected_violation():\n"
+            + "    import time\n"
+            + "    return time.time()\n"
+        )
+        artifact = tmp_path / "report.json"
+        proc = self.run_gate(
+            "--paths", str(tmp_path), "--json", str(artifact),
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "DET003" in proc.stdout
+        report = json.loads(artifact.read_text())
+        assert report["ok"] is False
+        assert any(
+            f["rule"] == "DET003" and f["path"].endswith("ip.py")
+            for f in report["findings"]
+        )

@@ -230,7 +230,8 @@ class TestPolicyIntegration:
 
 
 class TestCommunities:
-    def _inject(self, live, communities, prefix=Prefix("10.88.0.0/16")):
+    def _inject(self, live, communities, prefix=None):
+        prefix = prefix or Prefix("10.88.0.0/16")
         r2 = live.router("r2")
         message = UpdateMessage(
             attributes=PathAttributes(
@@ -343,3 +344,45 @@ class TestCheckpointContract:
         assert fresh.established_peers() == r2.established_peers()
         assert len(fresh.adj_rib_in["r1"]) == len(r2.adj_rib_in["r1"])
         assert fresh.crash_count == r2.crash_count
+
+
+class TestConfigChangeDeterminism:
+    """Regression: the networks diff in ``apply_config_change`` once
+    iterated a set straight into the decision/propagation sequence, so
+    message order varied with the interpreter's hash salt (DET001)."""
+
+    def test_network_diff_reaches_decision_sorted(self, monkeypatch):
+        from dataclasses import dataclass, replace
+
+        from repro.bgp.config import ConfigChange
+
+        @dataclass(frozen=True)
+        class ReplaceNetworks(ConfigChange):
+            networks: tuple
+
+            def apply(self, config):
+                return replace(config, networks=self.networks)
+
+            def describe(self):
+                return "replace networks"
+
+        live = build_line()
+        live.converge()
+        router = live.router("r1")
+        captured = []
+        original = router._run_decision
+
+        def spy(prefixes):
+            captured.append(list(prefixes))
+            return original(prefixes)
+
+        monkeypatch.setattr(router, "_run_decision", spy)
+        added = tuple(
+            Prefix(f"10.{octet}.0.0/16") for octet in (99, 7, 42, 63, 18)
+        )
+        router.apply_config_change(ReplaceNetworks(networks=(P_R1, *added)))
+        assert captured, "config change never reached the decision process"
+        dirty = captured[0]
+        assert set(dirty) == set(added)
+        # Sorted order, not whatever order the salted-hash set yields.
+        assert dirty == sorted(dirty)

@@ -21,7 +21,7 @@ class TestOfflineSession:
         tester = OfflineParserTester(seed=2)
         report = tester.run(budget=200)
         assert report.error_subcodes
-        for (code, subcode), count in report.error_subcodes.items():
+        for (code, _subcode), count in report.error_subcodes.items():
             assert 1 <= code <= 6
             assert count >= 1
 

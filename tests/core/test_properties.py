@@ -1,5 +1,7 @@
 """Tests for the property framework."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.properties import (
@@ -93,5 +95,5 @@ class TestViolation:
             property_name="p", fault_class="policy_conflict",
             node="n", detail="d",
         )
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             violation.detail = "changed"

@@ -136,6 +136,32 @@ class TestRemoteWorkerState:
         state.handle(("chunk", "campaign-B", 1, 0, b"y"), client=2)
         assert state.replicas.token == "campaign-B"
 
+    def test_stale_release_cannot_evict_a_successor_claim(self):
+        """Regression: client keys were once ``id(conn)``; CPython
+        recycles addresses, so a dead connection's late ``release()``
+        could pop the claim of a successor that had adopted its id,
+        opening a silent campaign-takeover window.  Keys are allocated
+        by a counter now, so a stale release never touches any later
+        client's claim."""
+        state = RemoteWorkerState()
+        state.handle(("chunk", "campaign-A", 1, 0, b"x"), client=1)
+        # Connection 1 is replaced by connection 2 (distinct key), then
+        # 1's handler thread finally-releases late.
+        state.handle(("chunk", "campaign-A", 1, 1, b"y"), client=2)
+        state.release(1)
+        # Connection 2's claim must still guard the warm store.
+        with pytest.raises(RuntimeError, match="another campaign"):
+            state.handle(("chunk", "campaign-B", 1, 0, b"z"), client=3)
+        assert state.replicas.token == "campaign-A"
+
+    def test_server_client_keys_are_never_reused(self):
+        server = WorkerServer()
+        try:
+            keys = [next(server._client_keys) for _ in range(3)]
+        finally:
+            server.close()
+        assert keys == [1, 2, 3]
+
 
 class TestLoopbackCampaigns:
     def test_matches_serial_bit_for_bit(self, serial_reference):

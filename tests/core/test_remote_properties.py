@@ -242,7 +242,7 @@ class TestCacheDeltaProperties:
         generation_before = cache.generation
         cache.merge_delta(events)
         assert cache.generation == generation_before + len(events)
-        for key, model in own_models.items():
+        for key in own_models:
             if cache.lookup_model(key) is not None:
                 # Never replaced by a merged foreign entry.
                 assert not cache.is_merged(key)

@@ -121,7 +121,7 @@ class TestFilterCompilation:
         assert accepts == 2
         assert text.count("bgp_med = 10;") == accepts
         for before, after in zip(
-            text.splitlines(), text.splitlines()[1:]
+            text.splitlines(), text.splitlines()[1:], strict=False
         ):
             if after.strip() == "accept;":
                 assert before.strip() == "bgp_med = 10;"
@@ -187,7 +187,7 @@ class TestRouterCompilation:
         suites = {"demo27": (topo.configs, topo.links)}
         for name, builder in GADGETS.items():
             suites[name] = builder()
-        for name, (configs, links) in suites.items():
+        for _name, (configs, links) in suites.items():
             plan = AddressPlan(links)
             for config in configs:
                 if config.damping is not None:

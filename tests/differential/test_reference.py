@@ -162,52 +162,71 @@ class TestIndependence:
 
     ``repro/__init__.py`` imports the whole simulator for its public
     API, so a runtime sys.modules check cannot isolate the oracle; the
-    enforceable contract is the oracle modules' *own* import statements,
-    checked against the documented allowlist at the AST level.
+    enforceable contract is the ``oracle-independence`` import contract
+    in :mod:`repro.analysis.contracts`, checked (transitively) by the
+    ISO001 lint rule.  This test pins the contract to this package: the
+    declaration must exist, the current tree must satisfy it, and a
+    synthetic violation must be caught — so the lint gate, not this
+    file, is where the allowlist now lives.
     """
 
-    ALLOWED = {
-        # stdlib
-        "__future__", "dataclasses", "typing",
-        # the documented allowlist: wire-level attribute types,
-        # addressing, config types (incl. the filter AST they carry),
-        # and the oracle package itself
-        "repro.bgp.attributes",
-        "repro.bgp.config",
-        "repro.bgp.damping",
-        "repro.bgp.ip",
-        "repro.bgp.policy_lang",
-        "repro.differential.canonical",
-        "repro.differential.reference",
-    }
-    FORBIDDEN_SUBSTRINGS = (
-        "decision", "router", "repro.bgp.policy\n", "net.sim",
-        "core.live", "repro.bgp.rib",
-    )
+    def _iso_findings(self, paths):
+        from repro.analysis.engine import lint_paths
 
-    @pytest.mark.parametrize(
-        "module", ["canonical", "reference"]
-    )
-    def test_oracle_modules_import_only_the_allowlist(self, module):
-        import ast
+        report = lint_paths(paths)
+        return [f for f in report.findings if f.rule == "ISO001"]
+
+    def test_oracle_contract_is_declared(self):
+        from repro.analysis.contracts import IMPORT_CONTRACTS
+
+        contract = next(
+            c for c in IMPORT_CONTRACTS if c.name == "oracle-independence"
+        )
+        assert set(contract.roots) == {
+            "repro.differential.canonical",
+            "repro.differential.reference",
+        }
+        # The machinery under test must stay forbidden however many
+        # import hops away.
+        assert {
+            "repro.bgp.decision", "repro.bgp.router", "repro.bgp.rib",
+        } <= set(contract.forbid)
+
+    def test_oracle_modules_satisfy_the_contract(self):
         import repro.differential as package
         from pathlib import Path
 
-        source = (
-            Path(package.__file__).parent / f"{module}.py"
-        ).read_text()
-        imported: set[str] = set()
-        for node in ast.walk(ast.parse(source)):
-            if isinstance(node, ast.Import):
-                imported.update(alias.name for alias in node.names)
-            elif isinstance(node, ast.ImportFrom):
-                imported.add(node.module or "")
-        unexpected = imported - self.ALLOWED
-        assert not unexpected, (
-            f"{module}.py imports outside the independence allowlist: "
-            f"{sorted(unexpected)} — the oracle must never import the "
-            "decision/router/policy machinery it is checking"
+        findings = self._iso_findings([Path(package.__file__).parent])
+        oracle_findings = [
+            f
+            for f in findings
+            if f.path.endswith(("canonical.py", "reference.py"))
+        ]
+        assert not oracle_findings, (
+            "oracle modules violate the independence contract: "
+            + "; ".join(f.message for f in oracle_findings)
         )
+
+    def test_contract_catches_a_synthetic_violation(self, tmp_path):
+        """Doctor a copy of the oracle to import the decision process
+        and assert ISO001 flags it — the gate must not be vacuous."""
+        import repro
+        from pathlib import Path
+        import shutil
+
+        src_root = Path(repro.__file__).parent
+        copy_root = tmp_path / "repro"
+        shutil.copytree(src_root, copy_root,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        reference = copy_root / "differential" / "reference.py"
+        reference.write_text(
+            "from repro.bgp import decision\n" + reference.read_text()
+        )
+        findings = self._iso_findings([copy_root / "differential"])
+        assert any(
+            f.path.endswith("reference.py") and "decision" in f.message
+            for f in findings
+        ), "doctored oracle import escaped the ISO001 contract check"
 
     def test_oracle_runs_without_simulator_state(self):
         """The oracle produces its fixpoint from configs alone — no

@@ -27,7 +27,7 @@ def test_edge_attributes():
     topology = build_internet(TopologyParams(tier1=2, transit=2, stubs=2,
                                              seed=1))
     graph = topology.to_networkx()
-    for a, b, data in graph.edges(data=True):
+    for _a, _b, data in graph.edges(data=True):
         assert data["relationship"] in ("customer", "peer", "provider")
         assert data["latency_ms"] > 0
 
